@@ -1,0 +1,97 @@
+(* The benchmark harness.
+
+   Part 1 regenerates every experiment table (E1..E13 from DESIGN.md's
+   index) — the paper-shaped results. Part 2 times each experiment's kernel
+   operation with Bechamel (one Test.make per experiment).
+
+   `dune exec bench/main.exe` runs both at Quick scale;
+   `dune exec bench/main.exe -- --full` uses the EXPERIMENTS.md parameters;
+   `dune exec bench/main.exe -- --only E7` restricts to one experiment;
+   `--no-perf` / `--no-tables` skip a part. *)
+
+open Bechamel
+open Toolkit
+
+let experiment_tables ~scale ~only () =
+  let rng = Prob.Rng.create ~seed:20210621L () in
+  let fmt = Format.std_formatter in
+  List.iter
+    (fun (e : Experiments.Registry.entry) ->
+      match only with
+      | Some id when String.lowercase_ascii id <> String.lowercase_ascii e.Experiments.Registry.id -> ()
+      | _ ->
+        let t0 = Unix.gettimeofday () in
+        e.Experiments.Registry.print ~scale rng fmt;
+        Format.fprintf fmt "[%s finished in %.1fs]@."
+          e.Experiments.Registry.id
+          (Unix.gettimeofday () -. t0))
+    Experiments.Registry.all
+
+let perf_benchmarks ~only () =
+  let tests =
+    Experiments.Registry.all
+    |> List.filter (fun (e : Experiments.Registry.entry) ->
+           match only with
+           | Some id ->
+             String.lowercase_ascii id = String.lowercase_ascii e.Experiments.Registry.id
+           | None -> true)
+    |> List.map (fun (e : Experiments.Registry.entry) ->
+           Test.make
+             ~name:(Printf.sprintf "%s-kernel" e.Experiments.Registry.id)
+             (Staged.stage (fun () ->
+                  (* A fresh deterministic generator per run keeps the work
+                     identical across samples. *)
+                  e.Experiments.Registry.kernel (Prob.Rng.create ~seed:1L ()))))
+  in
+  let grouped = Test.make_grouped ~name:"experiments" tests in
+  let cfg =
+    Benchmark.cfg ~limit:50 ~quota:(Time.second 1.0) ~kde:None ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] grouped in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let estimate =
+          match Analyze.OLS.estimates ols with Some (e :: _) -> e | _ -> nan
+        in
+        let r2 = Option.value ~default:nan (Analyze.OLS.r_square ols) in
+        (name, estimate, r2) :: acc)
+      results []
+    |> List.sort compare
+  in
+  Format.printf "@.== Kernel timings (Bechamel, monotonic clock) ==@.";
+  Format.printf "%-36s  %14s  %8s@." "kernel" "time/run" "r^2";
+  Format.printf "%s@." (String.make 64 '-');
+  List.iter
+    (fun (name, ns, r2) ->
+      let human =
+        if Float.is_nan ns then "n/a"
+        else if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+        else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+        else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+        else Printf.sprintf "%.0f ns" ns
+      in
+      Format.printf "%-36s  %14s  %8.4f@." name human r2)
+    rows
+
+let () =
+  let full = ref false in
+  let tables = ref true in
+  let perf = ref true in
+  let only = ref None in
+  let args =
+    [
+      ("--full", Arg.Set full, "full-scale experiment parameters (slow)");
+      ("--no-tables", Arg.Clear tables, "skip the experiment tables");
+      ("--no-perf", Arg.Clear perf, "skip the Bechamel timings");
+      ("--only", Arg.String (fun s -> only := Some s), "run a single experiment id");
+    ]
+  in
+  Arg.parse args (fun _ -> ()) "bench/main.exe [--full] [--only E7] [--no-perf] [--no-tables]";
+  let scale = if !full then Experiments.Common.Full else Experiments.Common.Quick in
+  if !tables then experiment_tables ~scale ~only:!only ();
+  if !perf then perf_benchmarks ~only:!only ()

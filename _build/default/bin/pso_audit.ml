@@ -1,0 +1,325 @@
+(* pso_audit — command-line front end.
+
+   Subcommands:
+     synth        generate a synthetic population (CSV to stdout or a file)
+     anonymize    k-anonymize a synthetic population and print the release
+     game         run the PSO security game for a chosen mechanism
+     theorems     run the executable theorem battery (1.3, 2.5-2.10)
+     report       print the full legal-technical report
+     experiment   run one of E1..E13 (or `all`) *)
+
+open Cmdliner
+
+let rng_of_seed seed = Prob.Rng.create ~seed:(Int64.of_int seed) ()
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
+
+let n_arg default =
+  Arg.(value & opt int default & info [ "n"; "size" ] ~docv:"N" ~doc:"Dataset size.")
+
+let trials_arg =
+  Arg.(value & opt int 100 & info [ "trials" ] ~docv:"T" ~doc:"Game trials.")
+
+(* --- synth --- *)
+
+let synth_cmd =
+  let run seed n out =
+    let rng = rng_of_seed seed in
+    let table = Dataset.Synth.population rng ~n () in
+    match out with
+    | None -> print_string (Dataset.Csv.to_string table)
+    | Some path ->
+      Dataset.Csv.write_file path table;
+      Printf.printf "wrote %d rows to %s\n" (Dataset.Table.nrows table) path
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc:"Output CSV file.")
+  in
+  Cmd.v
+    (Cmd.info "synth" ~doc:"Generate a synthetic GIC-style population as CSV.")
+    Term.(const run $ seed_arg $ n_arg 1000 $ out)
+
+(* --- anonymize --- *)
+
+let algo_conv =
+  Arg.enum
+    [
+      ("mondrian", Kanon.Anonymizer.Mondrian);
+      ("datafly", Kanon.Anonymizer.Datafly);
+      ("samarati", Kanon.Anonymizer.Samarati);
+      ("incognito", Kanon.Anonymizer.Incognito);
+    ]
+
+let demographic_scheme =
+  [
+    ("zip", Dataset.Hierarchy.zip_prefix ~digits:5);
+    ("birth_date", Dataset.Hierarchy.date_ladder);
+    ("sex", Dataset.Hierarchy.categorical ~name:"sex"
+       (Dataset.Hierarchy.Node
+          ( "*",
+            [
+              Dataset.Hierarchy.Leaf (Dataset.Value.String "F");
+              Dataset.Hierarchy.Leaf (Dataset.Value.String "M");
+            ] )));
+  ]
+
+let anonymize_cmd =
+  let run seed n k algorithm rows out =
+    let rng = rng_of_seed seed in
+    let table = Dataset.Synth.population rng ~n () in
+    let config =
+      {
+        Kanon.Anonymizer.algorithm;
+        k;
+        scheme = demographic_scheme;
+        max_suppression = 0.05;
+        recoding = Kanon.Mondrian.Member_level;
+      }
+    in
+    let release = Kanon.Anonymizer.anonymize config table in
+    (match out with
+    | None -> Format.printf "%a@." (Dataset.Gtable.pp ~max_rows:rows) release
+    | Some path ->
+      Dataset.Csv.write_gtable_file path release;
+      Format.printf "wrote %d generalized rows to %s@."
+        (Dataset.Gtable.nrows release) path);
+    Format.printf "k-anonymous (k=%d): %b; suppressed rows: %d@." k
+      (Kanon.Anonymizer.is_k_anonymous ~k release)
+      (Kanon.Metrics.suppressed_rows release)
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE" ~doc:"Write the release as CSV.")
+  in
+  let k_arg =
+    Arg.(value & opt int 5 & info [ "k"; "anonymity" ] ~docv:"K" ~doc:"Anonymity parameter.")
+  in
+  let algo_arg =
+    Arg.(value & opt algo_conv Kanon.Anonymizer.Mondrian
+         & info [ "algo" ] ~docv:"ALGO" ~doc:"mondrian | datafly | samarati | incognito.")
+  in
+  let rows_arg =
+    Arg.(value & opt int 20 & info [ "rows" ] ~docv:"R" ~doc:"Rows to print.")
+  in
+  Cmd.v
+    (Cmd.info "anonymize" ~doc:"k-anonymize a synthetic population.")
+    Term.(const run $ seed_arg $ n_arg 200 $ k_arg $ algo_arg $ rows_arg $ out_arg)
+
+(* --- game --- *)
+
+type game_target = Count | Dp_count | Kanon_member | Kanon_class
+
+let game_cmd =
+  let run seed n trials target =
+    let rng = rng_of_seed seed in
+    let model = Dataset.Synth.kanon_pso_model ~qis:6 ~retained:42 ~domain:64 in
+    let count_query =
+      Query.Predicate.Atom (Query.Predicate.Range ("q0", 0., 32.))
+    in
+    let mechanism, attacker =
+      match target with
+      | Count ->
+        ( Query.Mechanism.exact_count count_query,
+          Pso.Attacker.hash_bucket ~buckets:(n * n * n) )
+      | Dp_count ->
+        ( Dp.Laplace.mechanism ~epsilon:1. [| count_query |],
+          Pso.Attacker.hash_bucket ~buckets:(n * n * n) )
+      | Kanon_member ->
+        ( Kanon.Anonymizer.mechanism
+            {
+              Kanon.Anonymizer.algorithm = Kanon.Anonymizer.Mondrian;
+              k = 5;
+              scheme = [];
+              max_suppression = 0.05;
+              recoding = Kanon.Mondrian.Member_level;
+            },
+          Pso.Kanon_attack.cohen () )
+      | Kanon_class ->
+        ( Kanon.Anonymizer.mechanism
+            {
+              Kanon.Anonymizer.algorithm = Kanon.Anonymizer.Mondrian;
+              k = 5;
+              scheme = [];
+              max_suppression = 0.05;
+              recoding = Kanon.Mondrian.Class_level;
+            },
+          Pso.Kanon_attack.greedy () )
+    in
+    let outcome =
+      Pso.Game.run rng ~model ~n ~mechanism ~attacker
+        ~weight_bound:(Pso.Isolation.negligible_bound ~n ~c:2.)
+        ~trials
+    in
+    Format.printf "mechanism: %s@.attacker: %s@.%a@." mechanism.Query.Mechanism.name
+      attacker.Pso.Attacker.name Pso.Game.pp outcome
+  in
+  let target_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("count", Count);
+               ("dp-count", Dp_count);
+               ("kanon-member", Kanon_member);
+               ("kanon-class", Kanon_class);
+             ])
+          Kanon_member
+      & info [ "mechanism" ] ~docv:"M"
+          ~doc:"count | dp-count | kanon-member | kanon-class.")
+  in
+  Cmd.v
+    (Cmd.info "game" ~doc:"Run the PSO security game (Definition 2.4).")
+    Term.(const run $ seed_arg $ n_arg 120 $ trials_arg $ target_arg)
+
+(* --- audit --- *)
+
+type audit_target =
+  | A_count
+  | A_dp_count
+  | A_kanon_member
+  | A_kanon_class
+  | A_identity
+  | A_synthetic
+
+let audit_cmd =
+  let run seed n trials target =
+    let rng = rng_of_seed seed in
+    let model = Dataset.Synth.kanon_pso_model ~qis:6 ~retained:42 ~domain:64 in
+    let count_query =
+      Query.Predicate.Atom (Query.Predicate.Range ("q0", 0., 32.))
+    in
+    let kanon recoding =
+      Kanon.Anonymizer.mechanism
+        {
+          Kanon.Anonymizer.algorithm = Kanon.Anonymizer.Mondrian;
+          k = 5;
+          scheme = [];
+          max_suppression = 0.05;
+          recoding;
+        }
+    in
+    let mechanism =
+      match target with
+      | A_count -> Query.Mechanism.exact_count count_query
+      | A_dp_count -> Dp.Laplace.mechanism ~epsilon:1. [| count_query |]
+      | A_kanon_member -> kanon Kanon.Mondrian.Member_level
+      | A_kanon_class -> kanon Kanon.Mondrian.Class_level
+      | A_identity -> Query.Mechanism.identity_release
+      | A_synthetic ->
+        let domains =
+          List.map
+            (fun name -> (name, List.init 64 (fun v -> Dataset.Value.Int v)))
+            (Dataset.Schema.names (Dataset.Model.schema model))
+        in
+        Dp.Synthetic.mechanism ~epsilon:1. ~domains ~rows:n
+    in
+    Format.printf "auditing mechanism: %s@." mechanism.Query.Mechanism.name;
+    let findings = Core.Audit.mechanism rng ~model ~n ~trials mechanism in
+    List.iter
+      (fun f ->
+        Format.printf "  %-34s %a@." f.Core.Audit.attacker Pso.Game.pp
+          f.Core.Audit.outcome)
+      findings;
+    let worst = Core.Audit.worst_success findings in
+    Format.printf "worst PSO success: %.1f%% -> %s@." (100. *. worst)
+      (if worst > 0.1 then "singling out DEMONSTRATED: not GDPR-anonymous"
+       else "no singling out demonstrated by this battery")
+  in
+  let target_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("count", A_count);
+               ("dp-count", A_dp_count);
+               ("kanon-member", A_kanon_member);
+               ("kanon-class", A_kanon_class);
+               ("identity", A_identity);
+               ("dp-synthetic", A_synthetic);
+             ])
+          A_identity
+      & info [ "mechanism" ] ~docv:"M"
+          ~doc:
+            "count | dp-count | kanon-member | kanon-class | identity | \
+             dp-synthetic.")
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:"Run the standard PSO attacker battery against a mechanism.")
+    Term.(const run $ seed_arg $ n_arg 120 $ trials_arg $ target_arg)
+
+(* --- theorems --- *)
+
+let theorems_cmd =
+  let run seed n trials =
+    let rng = rng_of_seed seed in
+    let params = { Pso.Theorems.n; trials; weight_exponent = 2. } in
+    let verdicts = Pso.Theorems.all ~params rng in
+    List.iter (fun v -> Format.printf "%a@." Pso.Theorems.pp v) verdicts;
+    let failed = List.filter (fun v -> not v.Pso.Theorems.holds) verdicts in
+    if failed = [] then Format.printf "all %d checks hold@." (List.length verdicts)
+    else begin
+      Format.printf "%d checks REFUTED@." (List.length failed);
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "theorems" ~doc:"Run the executable theorem battery.")
+    Term.(const run $ seed_arg $ n_arg 150 $ trials_arg)
+
+(* --- report --- *)
+
+let report_cmd =
+  let run seed n trials =
+    let rng = rng_of_seed seed in
+    let report =
+      Legal.Report.build ~context:"pso_audit report" rng
+        { Pso.Theorems.n; trials; weight_exponent = 2. }
+    in
+    Format.printf "%a@." Legal.Report.pp report
+  in
+  Cmd.v
+    (Cmd.info "report" ~doc:"Print the full legal-technical audit report.")
+    Term.(const run $ seed_arg $ n_arg 150 $ trials_arg)
+
+(* --- experiment --- *)
+
+let experiment_cmd =
+  let run seed full id =
+    let scale = if full then Experiments.Common.Full else Experiments.Common.Quick in
+    let rng = rng_of_seed seed in
+    let fmt = Format.std_formatter in
+    if String.lowercase_ascii id = "all" then
+      List.iter
+        (fun (e : Experiments.Registry.entry) ->
+          e.Experiments.Registry.print ~scale rng fmt)
+        Experiments.Registry.all
+    else
+      match Experiments.Registry.find id with
+      | Some e -> e.Experiments.Registry.print ~scale rng fmt
+      | None ->
+        Format.eprintf "unknown experiment %S (expected E1..E13 or all)@." id;
+        exit 2
+  in
+  let id_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc:"E1..E13 or all.")
+  in
+  let full_arg =
+    Arg.(value & flag & info [ "full" ] ~doc:"Full-scale parameters (slower).")
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Run an experiment from DESIGN.md's index.")
+    Term.(const run $ seed_arg $ full_arg $ id_arg)
+
+let () =
+  let doc = "singling-out: PSO games, attacks and legal theorems (PODS 2021)" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "pso_audit" ~version:Core.version ~doc)
+          [
+            synth_cmd; anonymize_cmd; game_cmd; audit_cmd; theorems_cmd; report_cmd;
+            experiment_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/census_story.ml: Array Core Format List

@@ -1,0 +1,1 @@
+examples/erasure_story.ml: Core Format List

@@ -1,0 +1,1 @@
+examples/erasure_story.mli:

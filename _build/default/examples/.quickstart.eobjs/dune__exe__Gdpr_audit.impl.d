@@ -1,0 +1,1 @@
+examples/gdpr_audit.ml: Core Format List

@@ -1,0 +1,1 @@
+examples/netflix_linkage.ml: Array Core Format List

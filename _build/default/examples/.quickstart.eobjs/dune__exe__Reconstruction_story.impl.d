@@ -1,0 +1,1 @@
+examples/reconstruction_story.ml: Array Core Format Fun List

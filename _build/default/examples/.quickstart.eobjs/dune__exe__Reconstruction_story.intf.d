@@ -1,0 +1,1 @@
+examples/reconstruction_story.mli:

@@ -1,0 +1,103 @@
+(* The reconstruction story (Section 1 / Theorem 1.1), told through the
+   interactive curator: the same analyst-facing server under each of the
+   defenses the Fundamental Law leaves open.
+
+   A hospital curates n patients' diabetic status behind a subpopulation-
+   count API. An "analyst" (our attacker) asks random subset counts and
+   runs least-squares reconstruction on whatever the curator answers.
+
+   Run with: dune exec examples/reconstruction_story.exe *)
+
+let n = 64
+
+let queries = 8 * n
+
+let attack rng curator =
+  (* Ask random subsets; keep whatever is answered. *)
+  let rows = ref [] and answers = ref [] in
+  let refusals = ref 0 in
+  for _ = 1 to queries do
+    let subset =
+      Array.of_list
+        (List.filter (fun _ -> Core.Prob.Rng.bool rng) (List.init n Fun.id))
+    in
+    match Core.Query.Curator.ask_subset curator subset with
+    | Core.Query.Curator.Answer v ->
+      let row = Array.make n 0. in
+      Array.iter (fun i -> row.(i) <- 1.) subset;
+      rows := row :: !rows;
+      answers := v :: !answers
+    | Core.Query.Curator.Refusal _ -> incr refusals
+  done;
+  match !rows with
+  | [] -> (None, !refusals)
+  | _ ->
+    let a = Core.Linalg.Matrix.of_rows (Array.of_list !rows) in
+    let b = Array.of_list !answers in
+    let z = Core.Linalg.Lsq.solve_box a b ~lo:0. ~hi:1. in
+    (Some (Array.map (fun v -> if v >= 0.5 then 1 else 0) z), !refusals)
+
+let () =
+  let rng = Core.Prob.Rng.create ~seed:2003L () in
+  let fmt = Format.std_formatter in
+
+  (* The confidential bits, inside a one-column table. *)
+  let schema =
+    Core.Dataset.Schema.make
+      [
+        {
+          Core.Dataset.Schema.name = "diabetic";
+          kind = Core.Dataset.Value.Kint;
+          role = Core.Dataset.Schema.Sensitive;
+        };
+      ]
+  in
+  let truth = Array.init n (fun _ -> if Core.Prob.Rng.bool rng then 1 else 0) in
+  let table =
+    Core.Dataset.Table.make schema
+      (Array.map (fun b -> [| Core.Dataset.Value.Int b |]) truth)
+  in
+
+  Format.fprintf fmt
+    "A curator holds %d patients' diabetic status and answers subset counts.@."
+    n;
+  Format.fprintf fmt
+    "The analyst asks %d random subset queries and reconstructs.@.@." queries;
+
+  let policies =
+    [
+      ("exact answers, no limit", Core.Query.Curator.Exact);
+      ("exact answers, limit n/2", Core.Query.Curator.Limited (n / 2));
+      ("exact-disclosure auditing", Core.Query.Curator.Audited);
+      ( "eps=0.05/query, total eps=5",
+        Core.Query.Curator.Noisy { per_query_epsilon = 0.05; total_epsilon = 5. } );
+    ]
+  in
+  List.iter
+    (fun (label, policy) ->
+      let curator =
+        Core.Query.Curator.create ~rng:(Core.Prob.Rng.split rng) ~policy
+          ~target:"diabetic" table
+      in
+      let estimate, refusals = attack (Core.Prob.Rng.split rng) curator in
+      (match estimate with
+      | None -> Format.fprintf fmt "%-28s -> nothing answered@." label
+      | Some est ->
+        let agreement = Core.Attacks.Reconstruction.agreement est truth in
+        Format.fprintf fmt
+          "%-28s -> %3d answered, %3d refused, reconstruction %5.1f%%%s@."
+          label
+          (Core.Query.Curator.answered curator)
+          refusals (100. *. agreement)
+          (if agreement >= Core.Attacks.Reconstruction.blatant_non_privacy_threshold
+           then "  <- BLATANTLY NON-PRIVATE"
+           else ""));
+      ())
+    policies;
+
+  Format.fprintf fmt
+    "@.Reading: unlimited exact answers are blatantly non-private (Theorem \
+     1.1); a query limit helps only by answering less; exact-disclosure \
+     auditing refuses the provably-unsafe queries yet still leaks enough \
+     linearly-independent answers to reconstruct approximately; calibrated \
+     noise under a finite budget is the defense that actually works.@."

@@ -1,0 +1,1 @@
+lib/attacks/census.ml: Array Dataset Dp Fun Hashtbl Int List Option Prob

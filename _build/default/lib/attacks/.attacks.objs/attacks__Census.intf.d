@@ -1,0 +1,1 @@
+lib/attacks/census.mli: Dataset Prob

@@ -1,0 +1,1 @@
+lib/attacks/intersection.ml: Array Dataset Hashtbl List

@@ -1,0 +1,1 @@
+lib/attacks/intersection.mli: Dataset

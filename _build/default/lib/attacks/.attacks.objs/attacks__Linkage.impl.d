@@ -1,0 +1,1 @@
+lib/attacks/linkage.ml: Array Dataset Hashtbl List Option String

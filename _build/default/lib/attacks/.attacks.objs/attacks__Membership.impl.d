@@ -1,0 +1,1 @@
+lib/attacks/membership.ml: Array Dataset Float Prob

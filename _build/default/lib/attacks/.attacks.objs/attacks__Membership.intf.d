@@ -1,0 +1,1 @@
+lib/attacks/membership.mli: Dataset

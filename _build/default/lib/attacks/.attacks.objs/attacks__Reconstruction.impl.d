@@ -1,0 +1,1 @@
+lib/attacks/reconstruction.ml: Array Float Linalg List Prob Query

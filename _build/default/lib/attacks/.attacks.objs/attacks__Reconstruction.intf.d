@@ -1,0 +1,1 @@
+lib/attacks/reconstruction.mli: Prob Query

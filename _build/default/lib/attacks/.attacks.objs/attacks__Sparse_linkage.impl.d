@@ -1,0 +1,1 @@
+lib/attacks/sparse_linkage.ml: Array Dataset Float List Prob

@@ -1,0 +1,1 @@
+lib/attacks/sparse_linkage.mli: Dataset Prob

@@ -1,0 +1,85 @@
+(** Reconstruction-abetted re-identification of census tabulations
+    (Garfinkel–Abowd–Martindale 2018; Abowd 2019 — the paper's account of
+    the 2010 Decennial Census reconstruction, Section 1).
+
+    Pipeline: (1) publish block-level marginal tables from confidential
+    microdata; (2) reconstruct block microdata consistent with the tables;
+    (3) link the reconstruction to an identified "commercial" database to
+    attach names; (4) confirm putative re-identifications against ground
+    truth. The absolute rates depend on the synthetic population; the shape
+    — most records reconstructed nearly exactly, a large minority of the
+    population re-identified, orders of magnitude above the agency's prior
+    risk estimate — is the claim being reproduced. *)
+
+(** {1 Publication} *)
+
+type published = {
+  block : int;
+  total : int;
+  age_histogram : (int * int) list;  (** (age, count), exact single years *)
+  sex_by_bucket : ((int * int) * int) list;  (** ((sex, age/10), count) *)
+  race_eth : ((int * int) * int) list;  (** ((race, ethnicity), count) *)
+}
+
+val tabulate : Dataset.Synth.census_person array -> published array
+(** One table set per block id (dense from 0 to max block). *)
+
+val protect : Prob.Rng.t -> epsilon:float -> published array -> published array
+(** The post-2010 fix, in miniature: republish every table with two-sided
+    geometric noise (ε split across the four table families; noisy counts
+    clamped at zero, empty cells dropped, the full value domains noised so
+    cell presence itself is protected). The reconstruction pipeline accepts
+    the noisy tables unchanged — and E10's ablation shows what happens to
+    its accuracy. *)
+
+(** {1 Reconstruction} *)
+
+type record = { r_block : int; r_sex : int; r_age : int; r_race : int; r_eth : int }
+
+val reconstruct : published array -> record array
+(** Solve each block: ages are read off the single-year histogram; sexes are
+    assigned within each 10-year bucket to match the sex-by-bucket counts;
+    (race, ethnicity) pairs are distributed by frequency. Exactly consistent
+    with all published tables; errors relative to the truth arise only where
+    the tables underdetermine the joint distribution. *)
+
+type reconstruction_eval = {
+  records : int;
+  exact : int;  (** truth records matched by an unused reconstructed record on all attributes *)
+  age_within_one : int;  (** matched allowing age ±1 and free race/ethnicity *)
+  exact_rate : float;
+  age_within_one_rate : float;
+}
+
+val evaluate : truth:Dataset.Synth.census_person array -> record array -> reconstruction_eval
+
+(** {1 Re-identification} *)
+
+type commercial = { c_name : string; c_block : int; c_sex : int; c_age : int }
+
+val commercial_db :
+  Prob.Rng.t ->
+  Dataset.Synth.census_person array ->
+  coverage:float ->
+  age_error_rate:float ->
+  commercial array
+(** An identified database covering a [coverage] fraction of the population,
+    with ages off by ±1 for an [age_error_rate] fraction — modelling 2010-era
+    commercial data quality. *)
+
+type reid_stats = {
+  population : int;
+  putative : int;  (** commercial records matched to exactly one reconstructed record *)
+  confirmed : int;  (** putative matches agreeing with the confidential truth *)
+  putative_rate : float;
+  confirmed_rate : float;  (** confirmed / population — the paper's 17%-shaped number *)
+}
+
+val reidentify :
+  record array ->
+  commercial array ->
+  truth:Dataset.Synth.census_person array ->
+  reid_stats
+(** Match each commercial record to reconstructed records in its block with
+    equal sex and age within ±1; unique matches become putative
+    re-identifications, confirmed against the named person's true record. *)

@@ -1,0 +1,100 @@
+module Schema = Dataset.Schema
+module Table = Dataset.Table
+module Gtable = Dataset.Gtable
+module Gvalue = Dataset.Gvalue
+module Value = Dataset.Value
+
+type disclosure = {
+  candidates_1 : int;
+  candidates_2 : int;
+  intersection : int;
+  disclosed : bool;
+}
+
+let qi_indices schema =
+  Schema.with_role schema Schema.Quasi_identifier
+  |> List.map (Schema.index_of schema)
+
+(* The sensitive values an attacker considers possible for a target given
+   one release: union over equivalence classes covering the target's QIs of
+   the class's released sensitive cells' possible values. *)
+let candidates release ~sensitive target =
+  let schema = Gtable.schema release in
+  let qis = qi_indices schema in
+  let s_j = Schema.index_of schema sensitive in
+  let rows = Gtable.rows release in
+  let values = Hashtbl.create 8 in
+  let covered = ref false in
+  let qi_names = Schema.with_role schema Schema.Quasi_identifier in
+  List.iter
+    (fun c ->
+      let rep = c.Gtable.rep in
+      let covers =
+        List.for_all (fun j -> Gvalue.matches rep.(j) target.(j)) qis
+        && not (Array.for_all Gvalue.is_suppressed rep)
+      in
+      if covers then begin
+        covered := true;
+        Array.iter
+          (fun i ->
+            match rows.(i).(s_j) with
+            | Gvalue.Exact v -> Hashtbl.replace values v ()
+            | Gvalue.Category { members; _ } ->
+              List.iter (fun v -> Hashtbl.replace values v ()) members
+            | Gvalue.Int_range (lo, hi) ->
+              for v = lo to min hi (lo + 1000) do
+                Hashtbl.replace values (Value.Int v) ()
+              done
+            | Gvalue.Any | Gvalue.Prefix _ | Gvalue.Float_range _ ->
+              (* Uninformative cells contribute no candidate constraint;
+                 mark by a wildcard sentinel handled by the caller through
+                 candidate count 0. *)
+              ())
+          c.Gtable.members
+      end)
+    (Gtable.classes_on release qi_names);
+  if not !covered then None
+  else Some (Hashtbl.fold (fun v () acc -> v :: acc) values [])
+
+let attack_target ~release1 ~release2 ~sensitive target =
+  let c1 = candidates release1 ~sensitive target in
+  let c2 = candidates release2 ~sensitive target in
+  let inter =
+    match (c1, c2) with
+    | Some a, Some b ->
+      List.filter (fun v -> List.exists (Value.equal v) b) a
+    | Some a, None | None, Some a -> a
+    | None, None -> []
+  in
+  let count = function Some l -> List.length l | None -> 0 in
+  {
+    candidates_1 = count c1;
+    candidates_2 = count c2;
+    intersection = List.length inter;
+    disclosed = List.length inter = 1;
+  }
+
+type stats = {
+  targets : int;
+  disclosed_by_one : int;
+  disclosed_by_intersection : int;
+  rate_one : float;
+  rate_combined : float;
+}
+
+let evaluate ~table ~release1 ~release2 ~sensitive =
+  let n = Table.nrows table in
+  let one = ref 0 and combined = ref 0 in
+  Table.iter
+    (fun _ target ->
+      let d = attack_target ~release1 ~release2 ~sensitive target in
+      if d.candidates_1 = 1 then incr one;
+      if d.disclosed then incr combined)
+    table;
+  {
+    targets = n;
+    disclosed_by_one = !one;
+    disclosed_by_intersection = !combined;
+    rate_one = (if n = 0 then 0. else float_of_int !one /. float_of_int n);
+    rate_combined = (if n = 0 then 0. else float_of_int !combined /. float_of_int n);
+  }

@@ -1,0 +1,91 @@
+module Table = Dataset.Table
+
+let key_of table indices i =
+  String.concat "\x00"
+    (List.map
+       (fun j -> Dataset.Value.to_string (Table.rows table).(i).(j))
+       indices)
+
+let indices_of table on =
+  List.map (Dataset.Schema.index_of (Table.schema table)) on
+
+let group table on =
+  let indices = indices_of table on in
+  let groups : (string, int list) Hashtbl.t = Hashtbl.create 256 in
+  for i = 0 to Table.nrows table - 1 do
+    let key = key_of table indices i in
+    Hashtbl.replace groups key
+      (i :: Option.value ~default:[] (Hashtbl.find_opt groups key))
+  done;
+  groups
+
+let unique_fraction table ~on =
+  if Table.nrows table = 0 then 0.
+  else begin
+    let groups = group table on in
+    let unique =
+      Hashtbl.fold
+        (fun _ rows acc -> if List.length rows = 1 then acc + 1 else acc)
+        groups 0
+    in
+    float_of_int unique /. float_of_int (Table.nrows table)
+  end
+
+let uniqueness_histogram table ~on =
+  let groups = group table on in
+  let by_size : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun _ rows ->
+      let size = List.length rows in
+      Hashtbl.replace by_size size
+        (size + Option.value ~default:0 (Hashtbl.find_opt by_size size)))
+    groups;
+  Hashtbl.fold (fun size rows acc -> (size, rows) :: acc) by_size []
+  |> List.sort compare
+
+let link ~release ~aux ~on =
+  let release_groups = group release on in
+  let aux_indices = indices_of aux on in
+  let matches = ref [] in
+  (* Track aux-side multiplicity so only unique-unique pairs survive. *)
+  let aux_groups = group aux on in
+  for ai = 0 to Table.nrows aux - 1 do
+    let key = key_of aux aux_indices ai in
+    match (Hashtbl.find_opt release_groups key, Hashtbl.find_opt aux_groups key) with
+    | Some [ ri ], Some [ _ ] -> matches := (ri, ai) :: !matches
+    | _, _ -> ()
+  done;
+  List.rev !matches
+
+type stats = {
+  release_rows : int;
+  aux_rows : int;
+  claims : int;
+  correct : int;
+  precision : float;
+  reidentification_rate : float;
+}
+
+let reidentify ~population ~release ~aux ~on ~name_attr =
+  if Table.nrows population <> Table.nrows release then
+    invalid_arg "Linkage.reidentify: population/release must be row-aligned";
+  let claims = link ~release ~aux ~on in
+  let correct =
+    List.fold_left
+      (fun acc (ri, ai) ->
+        let claimed = Table.value aux ai name_attr in
+        let truth = Table.value population ri name_attr in
+        if Dataset.Value.equal claimed truth then acc + 1 else acc)
+      0 claims
+  in
+  let nclaims = List.length claims in
+  {
+    release_rows = Table.nrows release;
+    aux_rows = Table.nrows aux;
+    claims = nclaims;
+    correct;
+    precision = (if nclaims = 0 then 1. else float_of_int correct /. float_of_int nclaims);
+    reidentification_rate =
+      (if Table.nrows release = 0 then 0.
+       else float_of_int correct /. float_of_int (Table.nrows release));
+  }

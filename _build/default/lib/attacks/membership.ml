@@ -1,0 +1,68 @@
+let means rows =
+  let n = Array.length rows in
+  if n = 0 then invalid_arg "Membership.means: empty";
+  let m = Array.length rows.(0) in
+  let sums = Array.make m 0. in
+  Array.iter
+    (fun row ->
+      if Array.length row <> m then invalid_arg "Membership.means: ragged";
+      Array.iteri (fun j b -> if b then sums.(j) <- sums.(j) +. 1.) row)
+    rows;
+  Array.map (fun s -> s /. float_of_int n) sums
+
+let statistic ~pool_means ~ref_means genotype =
+  if
+    Array.length genotype <> Array.length pool_means
+    || Array.length genotype <> Array.length ref_means
+  then invalid_arg "Membership.statistic: length mismatch";
+  let t = ref 0. in
+  Array.iteri
+    (fun j b ->
+      let y = if b then 1. else 0. in
+      t := !t +. (Float.abs (y -. ref_means.(j)) -. Float.abs (y -. pool_means.(j))))
+    genotype;
+  !t
+
+let auc ~positives ~negatives =
+  if Array.length positives = 0 || Array.length negatives = 0 then
+    invalid_arg "Membership.auc: empty side";
+  let wins = ref 0. in
+  Array.iter
+    (fun p ->
+      Array.iter
+        (fun q ->
+          if p > q then wins := !wins +. 1.
+          else if p = q then wins := !wins +. 0.5)
+        negatives)
+    positives;
+  !wins /. (float_of_int (Array.length positives) *. float_of_int (Array.length negatives))
+
+type evaluation = {
+  auc : float;
+  accuracy : float;
+  threshold : float;
+  mean_member : float;
+  mean_outsider : float;
+}
+
+let evaluate (g : Dataset.Synth.genotypes) =
+  let pool_means = means g.Dataset.Synth.pool in
+  let ref_means = means g.Dataset.Synth.reference in
+  let score person = statistic ~pool_means ~ref_means person in
+  let members = Array.map score g.Dataset.Synth.pool in
+  let outsiders = Array.map score g.Dataset.Synth.outsiders in
+  let threshold = 0. in
+  let correct =
+    Array.fold_left (fun acc s -> if s > threshold then acc + 1 else acc) 0 members
+    + Array.fold_left
+        (fun acc s -> if s <= threshold then acc + 1 else acc)
+        0 outsiders
+  in
+  let total = Array.length members + Array.length outsiders in
+  {
+    auc = auc ~positives:members ~negatives:outsiders;
+    accuracy = float_of_int correct /. float_of_int total;
+    threshold;
+    mean_member = Prob.Stats.mean members;
+    mean_outsider = Prob.Stats.mean outsiders;
+  }

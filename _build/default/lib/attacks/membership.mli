@@ -1,0 +1,31 @@
+(** Membership inference from aggregate statistics (Homer et al. 2008 —
+    Section 1's genomic membership attack).
+
+    Only per-SNP allele {e frequencies} of a study pool are published.
+    Given an individual's genotype and an independent reference cohort, the
+    Homer statistic [T(y) = Σ_j (|y_j − ref_j| − |y_j − pool_j|)] is, in
+    expectation, positive for pool members and ~0 for non-members; with
+    enough attributes the separation is near-perfect — aggregate release is
+    not anonymous release. *)
+
+val means : bool array array -> float array
+(** Column means (published pool frequencies). Raises [Invalid_argument] on
+    empty or ragged input. *)
+
+val statistic : pool_means:float array -> ref_means:float array -> bool array -> float
+(** The Homer test statistic for one genotype. *)
+
+type evaluation = {
+  auc : float;  (** area under the ROC of members vs outsiders *)
+  accuracy : float;  (** accuracy at the fixed threshold *)
+  threshold : float;  (** decision threshold used (0 by construction) *)
+  mean_member : float;
+  mean_outsider : float;
+}
+
+val evaluate : Dataset.Synth.genotypes -> evaluation
+(** Score every pool member and outsider against the published pool
+    frequencies and the reference cohort. *)
+
+val auc : positives:float array -> negatives:float array -> float
+(** Mann–Whitney AUC (ties count ½). *)

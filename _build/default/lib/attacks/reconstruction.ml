@@ -1,0 +1,129 @@
+type result = {
+  estimate : int array;
+  hamming_errors : int;
+  agreement : float;
+  queries_used : int;
+}
+
+let blatant_non_privacy_threshold = 0.95
+
+let agreement a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Reconstruction.agreement: length mismatch";
+  if Array.length a = 0 then 1.
+  else begin
+    let same = ref 0 in
+    Array.iteri (fun i v -> if v = b.(i) then incr same) a;
+    float_of_int !same /. float_of_int (Array.length a)
+  end
+
+let finish ~truth ~queries_used estimate =
+  let hamming_errors =
+    let e = ref 0 in
+    Array.iteri (fun i v -> if v <> truth.(i) then incr e) estimate;
+    !e
+  in
+  { estimate; hamming_errors; agreement = agreement estimate truth; queries_used }
+
+let mask_to_subset n mask =
+  let out = ref [] in
+  for i = n - 1 downto 0 do
+    if mask land (1 lsl i) <> 0 then out := i :: !out
+  done;
+  Array.of_list !out
+
+let exhaustive oracle ~truth =
+  let n = Query.Oracle.n oracle in
+  if n > 16 then invalid_arg "Reconstruction.exhaustive: n > 16";
+  let nmasks = 1 lsl n in
+  (* Ask all 2^n subset queries. *)
+  let answers = Array.make nmasks 0. in
+  for mask = 0 to nmasks - 1 do
+    answers.(mask) <- Query.Oracle.ask oracle (mask_to_subset n mask)
+  done;
+  (* Popcount of (candidate AND query-mask) is the candidate's exact answer;
+     pick the candidate minimizing the worst violation. *)
+  let popcount m =
+    let rec go m acc = if m = 0 then acc else go (m lsr 1) (acc + (m land 1)) in
+    go m 0
+  in
+  let best = ref 0 in
+  let best_violation = ref infinity in
+  for candidate = 0 to nmasks - 1 do
+    let worst = ref 0. in
+    (try
+       for mask = 0 to nmasks - 1 do
+         let v =
+           Float.abs (float_of_int (popcount (candidate land mask)) -. answers.(mask))
+         in
+         if v > !worst then worst := v;
+         if !worst >= !best_violation then raise Exit
+       done
+     with Exit -> ());
+    if !worst < !best_violation then begin
+      best_violation := !worst;
+      best := candidate
+    end
+  done;
+  let estimate = Array.init n (fun i -> (!best lsr i) land 1) in
+  finish ~truth ~queries_used:nmasks estimate
+
+let random_queries rng ~queries n =
+  Array.init queries (fun _ ->
+      let subset = ref [] in
+      for i = n - 1 downto 0 do
+        if Prob.Rng.bool rng then subset := i :: !subset
+      done;
+      Array.of_list !subset)
+
+let least_squares rng oracle ~queries ~truth =
+  let n = Query.Oracle.n oracle in
+  let qs = random_queries rng ~queries n in
+  let answers = Array.map (fun q -> Query.Oracle.ask oracle q) qs in
+  let a = Linalg.Matrix.of_subset_queries ~query:qs ~n in
+  let z =
+    Linalg.Lsq.solve_box
+      ~options:{ Linalg.Lsq.max_iter = 2000; tolerance = 1e-10 }
+      a answers ~lo:0. ~hi:1.
+  in
+  let estimate = Array.map (fun v -> if v >= 0.5 then 1 else 0) z in
+  finish ~truth ~queries_used:queries estimate
+
+let lp_decode rng oracle ~queries ~truth =
+  let n = Query.Oracle.n oracle in
+  let qs = random_queries rng ~queries n in
+  let answers = Array.map (fun q -> Query.Oracle.ask oracle q) qs in
+  let t = Array.length qs in
+  (* Variables: z_0..z_{n-1}, then per query a positive and a negative
+     residual p_q, m_q >= 0 with (Az)_q + p_q − m_q = a_q; minimize
+     Σ (p_q + m_q) = Σ |residual|. The p_q columns are row-singletons, so
+     the solver starts from the feasible basis z = 0, p = a (no phase 1). *)
+  let nv = n + (2 * t) in
+  let objective = Array.init nv (fun j -> if j >= n then 1. else 0.) in
+  let constraints = ref [] in
+  Array.iteri
+    (fun qi q ->
+      let row = Array.make nv 0. in
+      Array.iter (fun i -> row.(i) <- 1.) q;
+      row.(n + (2 * qi)) <- 1.;
+      row.(n + (2 * qi) + 1) <- -1.;
+      constraints := (row, Linalg.Simplex.Eq, answers.(qi)) :: !constraints)
+    qs;
+  for i = 0 to n - 1 do
+    let row = Array.make nv 0. in
+    row.(i) <- 1.;
+    constraints := (row, Linalg.Simplex.Le, 1.) :: !constraints
+  done;
+  let problem =
+    { Linalg.Simplex.objective; constraints = List.rev !constraints }
+  in
+  let estimate =
+    match Linalg.Simplex.solve problem with
+    | Linalg.Simplex.Optimal { x; _ } ->
+      Array.init n (fun i -> if x.(i) >= 0.5 then 1 else 0)
+    | Linalg.Simplex.Infeasible | Linalg.Simplex.Unbounded ->
+      (* Cannot happen for this formulation (s large enough is always
+         feasible, objective bounded by 0) — fall back to all-zeros. *)
+      Array.make n 0
+  in
+  finish ~truth ~queries_used:queries estimate

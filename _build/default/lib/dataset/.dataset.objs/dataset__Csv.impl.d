@@ -1,0 +1,1 @@
+lib/dataset/csv.ml: Array Buffer Fun Gtable Gvalue List Printf Schema String Table Value

@@ -1,0 +1,1 @@
+lib/dataset/csv.mli: Gtable Schema Table

@@ -1,0 +1,1 @@
+lib/dataset/gtable.ml: Array Format Fun Gvalue Hashtbl List Printf Schema String

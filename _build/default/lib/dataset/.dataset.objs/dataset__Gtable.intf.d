@@ -1,0 +1,1 @@
+lib/dataset/gtable.mli: Format Gvalue Schema Table

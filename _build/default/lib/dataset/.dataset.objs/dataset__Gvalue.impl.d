@@ -1,0 +1,1 @@
+lib/dataset/gvalue.ml: Float List Printf String Value

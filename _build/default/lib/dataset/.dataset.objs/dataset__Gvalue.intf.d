@@ -1,0 +1,1 @@
+lib/dataset/gvalue.mli: Value

@@ -1,0 +1,1 @@
+lib/dataset/hierarchy.ml: Array Float Gvalue Hashtbl List String Value

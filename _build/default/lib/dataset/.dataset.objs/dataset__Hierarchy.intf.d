@@ -1,0 +1,1 @@
+lib/dataset/hierarchy.mli: Gvalue Value

@@ -1,0 +1,1 @@
+lib/dataset/model.ml: Array List Printf Prob Schema Table Value

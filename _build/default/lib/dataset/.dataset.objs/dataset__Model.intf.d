@@ -1,0 +1,1 @@
+lib/dataset/model.mli: Prob Schema Table Value

@@ -1,0 +1,1 @@
+lib/dataset/schema.ml: Array Hashtbl List Printf Value

@@ -1,0 +1,1 @@
+lib/dataset/schema.mli: Value

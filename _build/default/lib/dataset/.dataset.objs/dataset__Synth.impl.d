@@ -1,0 +1,1 @@
+lib/dataset/synth.ml: Array Float Fun Hashtbl Hierarchy List Model Printf Prob Schema Table Value

@@ -1,0 +1,1 @@
+lib/dataset/synth.mli: Hierarchy Model Prob Schema Table

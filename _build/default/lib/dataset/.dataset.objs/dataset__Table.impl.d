@@ -1,0 +1,1 @@
+lib/dataset/table.ml: Array Format Hashtbl List Printf Schema String Value

@@ -1,0 +1,1 @@
+lib/dataset/value.ml: Bool Float Format Int Printf String

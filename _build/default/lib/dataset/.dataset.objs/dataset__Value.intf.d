@@ -1,0 +1,1 @@
+lib/dataset/value.mli: Format

@@ -1,0 +1,37 @@
+(** Data-generation models.
+
+    Section 2.2 of the paper fixes the data-generation process: records are
+    drawn i.i.d. from a distribution [D] over the universe [X]. We represent
+    [D] as a product of per-attribute finite distributions. The product form
+    gives two things the experiments need: i.i.d. table sampling, and {e
+    exact} probabilities for conjunctive events — hence exact predicate
+    weights [w_D(p)] instead of Monte-Carlo estimates. *)
+
+type t
+
+val make : Schema.t -> (string * Value.t Prob.Distribution.t) list -> t
+(** One distribution per schema attribute, by name; every attribute must be
+    covered exactly once and the distribution's support must consist of
+    values of the attribute's kind. Raises [Invalid_argument] otherwise. *)
+
+val schema : t -> Schema.t
+
+val marginal : t -> string -> Value.t Prob.Distribution.t
+(** Raises [Not_found] for unknown attributes. *)
+
+val sample_row : Prob.Rng.t -> t -> Table.row
+
+val sample_table : Prob.Rng.t -> t -> int -> Table.t
+(** [sample_table rng model n] draws the paper's [x ~ D^n]. *)
+
+val row_prob : t -> Table.row -> float
+(** Exact probability of drawing exactly this row. *)
+
+val universe_min_entropy : t -> float
+(** Min-entropy of [D] in bits — the sum over attributes; the quantity the
+    paper requires to be "moderate" for Leftover-Hash-Lemma predicates to
+    exist. *)
+
+val cell_prob : t -> string -> (Value.t -> bool) -> float
+(** Exact marginal probability that the named attribute satisfies a value
+    predicate. *)

@@ -1,0 +1,57 @@
+(** In-memory tables: a schema plus an array of rows.
+
+    A table is the paper's dataset [x = (x_1, ..., x_n) ∈ X^n]; row order is
+    meaningful only as storage — the formalization explicitly rules out
+    isolation "by position", and nothing in the attack code depends on it. *)
+
+type row = Value.t array
+
+type t
+
+val make : Schema.t -> row array -> t
+(** Validates that every row has the schema's arity and every value matches
+    its attribute's kind (or is [Null]). Rows are not copied; treat them as
+    immutable after construction. Raises [Invalid_argument] on violations. *)
+
+val schema : t -> Schema.t
+
+val nrows : t -> int
+
+val row : t -> int -> row
+
+val rows : t -> row array
+(** The underlying storage (not a copy). *)
+
+val value : t -> int -> string -> Value.t
+(** [value t i name] is row [i]'s value for the named attribute. *)
+
+val project : t -> string list -> t
+(** Column subset/reorder. *)
+
+val filter : (row -> bool) -> t -> t
+
+val count : (row -> bool) -> t -> int
+
+val select : t -> int array -> t
+(** Row subset by indices (rows shared, not copied). *)
+
+val append : t -> t -> t
+(** Raises [Invalid_argument] if the schemas differ. *)
+
+val group_by : t -> string list -> (Value.t list * int array) list
+(** Partition row indices by their values on the named attributes; group keys
+    are in first-appearance order. *)
+
+val distinct : t -> string list -> int
+(** Number of distinct value combinations on the named attributes. *)
+
+val map_rows : (row -> row) -> t -> t
+(** Applies a row transformation; the result is re-validated against the
+    schema. *)
+
+val fold : ('acc -> row -> 'acc) -> 'acc -> t -> 'acc
+
+val iter : (int -> row -> unit) -> t -> unit
+
+val pp : ?max_rows:int -> Format.formatter -> t -> unit
+(** Fixed-width textual rendering (for examples and reports). *)

@@ -1,0 +1,1 @@
+lib/dp/exponential.ml: Array Float Prob

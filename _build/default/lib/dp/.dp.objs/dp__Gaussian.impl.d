@@ -1,0 +1,1 @@
+lib/dp/gaussian.ml: Dataset Float Prob Query

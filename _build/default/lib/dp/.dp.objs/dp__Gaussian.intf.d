@@ -1,0 +1,1 @@
+lib/dp/gaussian.mli: Dataset Prob Query

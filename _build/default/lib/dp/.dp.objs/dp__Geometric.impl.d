@@ -1,0 +1,1 @@
+lib/dp/geometric.ml: Dataset Float Prob Query

@@ -1,0 +1,1 @@
+lib/dp/geometric.mli: Dataset Prob Query

@@ -1,0 +1,1 @@
+lib/dp/histogram.ml: Array Dataset Printf Prob Query

@@ -1,0 +1,1 @@
+lib/dp/histogram.mli: Dataset Prob Query

@@ -1,0 +1,1 @@
+lib/dp/laplace.ml: Array Dataset Float Prob Query

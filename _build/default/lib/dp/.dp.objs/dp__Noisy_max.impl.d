@@ -1,0 +1,1 @@
+lib/dp/noisy_max.ml: Array Dataset Prob Query

@@ -1,0 +1,1 @@
+lib/dp/noisy_max.mli: Dataset Prob Query

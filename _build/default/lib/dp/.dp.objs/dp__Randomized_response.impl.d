@@ -1,0 +1,1 @@
+lib/dp/randomized_response.ml: Array Float Prob

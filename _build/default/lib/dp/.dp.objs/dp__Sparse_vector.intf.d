@@ -1,0 +1,1 @@
+lib/dp/sparse_vector.mli: Prob

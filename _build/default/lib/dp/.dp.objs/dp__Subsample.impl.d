@@ -1,0 +1,1 @@
+lib/dp/subsample.ml: Array Dataset Float Fun List Printf Prob Query

@@ -1,0 +1,1 @@
+lib/dp/subsample.mli: Dataset Prob Query

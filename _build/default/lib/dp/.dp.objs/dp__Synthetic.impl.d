@@ -1,0 +1,1 @@
+lib/dp/synthetic.ml: Array Dataset Float List Printf Prob Query

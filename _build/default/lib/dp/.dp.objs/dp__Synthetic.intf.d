@@ -1,0 +1,1 @@
+lib/dp/synthetic.mli: Dataset Prob Query

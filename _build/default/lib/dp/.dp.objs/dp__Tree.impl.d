@@ -1,0 +1,1 @@
+lib/dp/tree.ml: Array Prob

@@ -1,0 +1,38 @@
+type t = { mutable steps : (string * float * float) list }
+
+let create () = { steps = [] }
+
+let spend t ~epsilon ?(delta = 0.) label =
+  if epsilon <= 0. then invalid_arg "Dp.Accountant.spend: epsilon";
+  if delta < 0. || delta >= 1. then invalid_arg "Dp.Accountant.spend: delta";
+  t.steps <- (label, epsilon, delta) :: t.steps
+
+let steps t = List.rev t.steps
+
+let basic t =
+  List.fold_left
+    (fun (e, d) (_, ei, di) -> (e +. ei, d +. di))
+    (0., 0.) t.steps
+
+let advanced t ~delta_slack =
+  if delta_slack <= 0. || delta_slack >= 1. then
+    invalid_arg "Dp.Accountant.advanced: delta_slack";
+  let k = List.length t.steps in
+  if k = 0 then (0., 0.)
+  else begin
+    let eps_max =
+      List.fold_left (fun acc (_, e, _) -> Float.max acc e) 0. t.steps
+    in
+    let delta_sum = List.fold_left (fun acc (_, _, d) -> acc +. d) 0. t.steps in
+    let kf = float_of_int k in
+    let eps' =
+      (Float.sqrt (2. *. kf *. Float.log (1. /. delta_slack)) *. eps_max)
+      +. (kf *. eps_max *. (Float.exp eps_max -. 1.))
+    in
+    (eps', delta_sum +. delta_slack)
+  end
+
+let best t ~delta_slack =
+  let b = basic t in
+  let a = advanced t ~delta_slack in
+  if fst a < fst b then a else b

@@ -1,0 +1,53 @@
+let select rng ~epsilon ~sensitivity ~utility candidates =
+  if epsilon <= 0. then invalid_arg "Dp.Exponential: epsilon";
+  if sensitivity <= 0. then invalid_arg "Dp.Exponential: sensitivity";
+  if Array.length candidates = 0 then invalid_arg "Dp.Exponential: no candidates";
+  let scores = Array.map utility candidates in
+  (* Subtract the max before exponentiating for numerical stability. *)
+  let best = Array.fold_left Float.max neg_infinity scores in
+  let weights =
+    Array.map
+      (fun u -> Float.exp (epsilon *. (u -. best) /. (2. *. sensitivity)))
+      scores
+  in
+  let total = Array.fold_left ( +. ) 0. weights in
+  let target = Prob.Rng.uniform rng *. total in
+  let acc = ref 0. in
+  let chosen = ref (Array.length candidates - 1) in
+  (try
+     Array.iteri
+       (fun i w ->
+         acc := !acc +. w;
+         if !acc >= target then begin
+           chosen := i;
+           raise Exit
+         end)
+       weights
+   with Exit -> ());
+  candidates.(!chosen)
+
+let median rng ~epsilon ~lo ~hi ~bins values =
+  if bins <= 0 then invalid_arg "Dp.Exponential.median: bins";
+  if hi <= lo then invalid_arg "Dp.Exponential.median: empty range";
+  let sorted = Array.copy values in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let rank_below c =
+    (* Number of values < c. *)
+    let count = ref 0 in
+    (try
+       Array.iter
+         (fun v -> if v < c then incr count else raise Exit)
+         sorted
+     with Exit -> ());
+    !count
+  in
+  let candidates =
+    Array.init bins (fun i ->
+        lo +. ((hi -. lo) *. (float_of_int i +. 0.5) /. float_of_int bins))
+  in
+  let utility c =
+    (* Distance of c's rank from the median rank, negated. *)
+    -.Float.abs (float_of_int (rank_below c) -. (float_of_int n /. 2.))
+  in
+  select rng ~epsilon ~sensitivity:1. ~utility candidates

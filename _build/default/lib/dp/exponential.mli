@@ -1,0 +1,19 @@
+(** The exponential mechanism (McSherry–Talwar 2007): ε-DP selection of a
+    candidate from a finite set, sampling candidate [c] with probability
+    proportional to [exp(ε · u(c) / (2 Δu))]. *)
+
+val select :
+  Prob.Rng.t ->
+  epsilon:float ->
+  sensitivity:float ->
+  utility:('a -> float) ->
+  'a array ->
+  'a
+(** Raises [Invalid_argument] if [epsilon <= 0], [sensitivity <= 0], or the
+    candidate array is empty. *)
+
+val median :
+  Prob.Rng.t -> epsilon:float -> lo:float -> hi:float -> bins:int -> float array -> float
+(** ε-DP approximate median of values in [\[lo, hi\]]: exponential mechanism
+    over [bins] equal-width candidate points with the (negated) rank-distance
+    utility (sensitivity 1). *)

@@ -1,0 +1,12 @@
+let sigma ~epsilon ~delta ~sensitivity =
+  if epsilon <= 0. then invalid_arg "Dp.Gaussian: epsilon must be positive";
+  if delta <= 0. || delta >= 1. then invalid_arg "Dp.Gaussian: delta in (0,1)";
+  if sensitivity < 0. then invalid_arg "Dp.Gaussian: sensitivity";
+  sensitivity *. Float.sqrt (2. *. Float.log (1.25 /. delta)) /. epsilon
+
+let perturb rng ~epsilon ~delta ~sensitivity value =
+  value +. Prob.Sampler.gaussian rng ~mean:0. ~std:(sigma ~epsilon ~delta ~sensitivity)
+
+let count rng ~epsilon ~delta table q =
+  let exact = Query.Predicate.count (Dataset.Table.schema table) q table in
+  perturb rng ~epsilon ~delta ~sensitivity:1. (float_of_int exact)

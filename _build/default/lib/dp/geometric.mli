@@ -1,0 +1,10 @@
+(** The geometric mechanism: the discrete analogue of the Laplace mechanism
+    for integer-valued counts. Adding two-sided geometric noise with
+    [alpha = exp(-epsilon)] gives ε-DP for sensitivity-1 counts and keeps
+    answers integral. *)
+
+val count : Prob.Rng.t -> epsilon:float -> Dataset.Table.t -> Query.Predicate.t -> int
+(** Raises [Invalid_argument] if [epsilon <= 0]. *)
+
+val perturb : Prob.Rng.t -> epsilon:float -> int -> int
+(** Add two-sided geometric noise calibrated to sensitivity 1. *)

@@ -1,0 +1,32 @@
+let check_epsilon epsilon =
+  if epsilon <= 0. then invalid_arg "Dp.Laplace: epsilon must be positive"
+
+let count rng ~epsilon table q =
+  check_epsilon epsilon;
+  let exact = Query.Predicate.count (Dataset.Table.schema table) q table in
+  float_of_int exact +. Prob.Sampler.laplace rng ~scale:(1. /. epsilon)
+
+let clamp ~lo ~hi v = if v < lo then lo else if v > hi then hi else v
+
+let sum rng ~epsilon ~lo ~hi values =
+  check_epsilon epsilon;
+  if hi < lo then invalid_arg "Dp.Laplace.sum: empty range";
+  let sensitivity = Float.max (Float.abs lo) (Float.abs hi) in
+  let exact = Array.fold_left (fun acc v -> acc +. clamp ~lo ~hi v) 0. values in
+  exact +. Prob.Sampler.laplace rng ~scale:(sensitivity /. Float.max epsilon 1e-12)
+
+let mean rng ~epsilon ~lo ~hi values =
+  check_epsilon epsilon;
+  let half = epsilon /. 2. in
+  let noisy_sum = sum rng ~epsilon:half ~lo ~hi values in
+  let noisy_count =
+    float_of_int (Array.length values) +. Prob.Sampler.laplace rng ~scale:(1. /. half)
+  in
+  noisy_sum /. Float.max 1. noisy_count
+
+let counts rng ~epsilon table qs =
+  check_epsilon epsilon;
+  let per_query = epsilon /. float_of_int (max 1 (Array.length qs)) in
+  Array.map (fun q -> count rng ~epsilon:per_query table q) qs
+
+let mechanism ~epsilon qs = Query.Mechanism.laplace_counts ~epsilon qs

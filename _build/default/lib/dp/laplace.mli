@@ -1,0 +1,23 @@
+(** The Laplace mechanism (Dwork–McSherry–Nissim–Smith 2006; the paper's
+    Theorem 1.3).
+
+    For a statistic of global sensitivity [Δ], adding Laplace noise of scale
+    [Δ/ε] yields ε-differential privacy (Definition 1.2). *)
+
+val count : Prob.Rng.t -> epsilon:float -> Dataset.Table.t -> Query.Predicate.t -> float
+(** ε-DP count of records satisfying the predicate (sensitivity 1):
+    [Σ q(xᵢ) + Lap(1/ε)]. Raises [Invalid_argument] if [epsilon <= 0]. *)
+
+val sum : Prob.Rng.t -> epsilon:float -> lo:float -> hi:float -> float array -> float
+(** ε-DP sum of values clamped into [\[lo, hi\]] (sensitivity
+    [max |lo| |hi|]). *)
+
+val mean : Prob.Rng.t -> epsilon:float -> lo:float -> hi:float -> float array -> float
+(** ε-DP mean: budget split between a noisy sum and a noisy count. *)
+
+val counts : Prob.Rng.t -> epsilon:float -> Dataset.Table.t -> Query.Predicate.t array -> float array
+(** Answers a vector of count queries under total budget [epsilon]
+    (sequential composition: each query gets [epsilon / #queries]). *)
+
+val mechanism : epsilon:float -> Query.Predicate.t array -> Query.Mechanism.t
+(** The same as a {!Query.Mechanism.t}, for use in the PSO game. *)

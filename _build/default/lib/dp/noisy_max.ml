@@ -1,0 +1,20 @@
+let select_values rng ~epsilon values =
+  if epsilon <= 0. then invalid_arg "Dp.Noisy_max: epsilon";
+  if Array.length values = 0 then invalid_arg "Dp.Noisy_max: no candidates";
+  let best = ref 0 and best_v = ref neg_infinity in
+  Array.iteri
+    (fun i v ->
+      let noisy = v +. Prob.Sampler.laplace rng ~scale:(2. /. epsilon) in
+      if noisy > !best_v then begin
+        best := i;
+        best_v := noisy
+      end)
+    values;
+  !best
+
+let select rng ~epsilon table candidates =
+  let schema = Dataset.Table.schema table in
+  select_values rng ~epsilon
+    (Array.map
+       (fun q -> float_of_int (Query.Predicate.count schema q table))
+       candidates)

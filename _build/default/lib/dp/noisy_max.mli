@@ -1,0 +1,13 @@
+(** Report-noisy-max: ε-DP selection of the largest of a set of
+    sensitivity-1 counts by adding independent Laplace(2/ε) noise to each
+    and reporting only the argmax (not the values). A workhorse for "which
+    category is most common" questions and a cheaper alternative to the
+    exponential mechanism for count utilities. *)
+
+val select :
+  Prob.Rng.t -> epsilon:float -> Dataset.Table.t -> Query.Predicate.t array -> int
+(** Index of the noisy-max count among the candidate predicates. Raises
+    [Invalid_argument] if [epsilon <= 0] or the array is empty. *)
+
+val select_values : Prob.Rng.t -> epsilon:float -> float array -> int
+(** The same on precomputed sensitivity-1 values. *)

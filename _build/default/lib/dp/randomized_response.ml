@@ -1,0 +1,23 @@
+let check epsilon =
+  if epsilon <= 0. then invalid_arg "Dp.Randomized_response: epsilon"
+
+let flip_probability ~epsilon =
+  check epsilon;
+  1. /. (Float.exp epsilon +. 1.)
+
+let respond rng ~epsilon bit =
+  let flip = flip_probability ~epsilon in
+  if Prob.Sampler.bernoulli rng ~p:flip then not bit else bit
+
+let survey rng ~epsilon bits = Array.map (respond rng ~epsilon) bits
+
+let estimate ~epsilon responses =
+  let flip = flip_probability ~epsilon in
+  let truth_prob = 1. -. flip in
+  let yes =
+    float_of_int
+      (Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 responses)
+  in
+  let n = float_of_int (Array.length responses) in
+  (* E[yes] = true * p + (n - true) * (1 - p); invert. *)
+  (yes -. (n *. flip)) /. (truth_prob -. flip)

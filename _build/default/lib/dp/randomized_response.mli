@@ -1,0 +1,16 @@
+(** Randomized response (Warner 1965): the oldest differentially private
+    mechanism. Each respondent reports their true bit with probability
+    [e^ε / (e^ε + 1)] and the flipped bit otherwise; the aggregate is
+    debiased. Local DP: the curator never holds true values. *)
+
+val respond : Prob.Rng.t -> epsilon:float -> bool -> bool
+(** One ε-DP response. Raises [Invalid_argument] if [epsilon <= 0]. *)
+
+val survey : Prob.Rng.t -> epsilon:float -> bool array -> bool array
+(** Independent responses for a population. *)
+
+val estimate : epsilon:float -> bool array -> float
+(** Unbiased estimate of the number of true bits from responses. *)
+
+val flip_probability : epsilon:float -> float
+(** Probability that a response is a lie: [1 / (e^ε + 1)]. *)

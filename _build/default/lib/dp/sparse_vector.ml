@@ -1,0 +1,38 @@
+exception Budget_exhausted
+
+type t = {
+  rng : Prob.Rng.t;
+  epsilon : float;
+  noisy_threshold : float;
+  max_hits : int;
+  mutable hits : int;
+  mutable asked : int;
+}
+
+let create rng ~epsilon ~threshold ~max_hits =
+  if epsilon <= 0. then invalid_arg "Dp.Sparse_vector: epsilon";
+  if max_hits <= 0 then invalid_arg "Dp.Sparse_vector: max_hits";
+  {
+    rng;
+    epsilon;
+    noisy_threshold =
+      threshold +. Prob.Sampler.laplace rng ~scale:(2. /. epsilon);
+    max_hits;
+    hits = 0;
+    asked = 0;
+  }
+
+let ask t value =
+  if t.hits >= t.max_hits then raise Budget_exhausted;
+  t.asked <- t.asked + 1;
+  let noise =
+    Prob.Sampler.laplace t.rng
+      ~scale:(4. *. float_of_int t.max_hits /. t.epsilon)
+  in
+  let above = value +. noise >= t.noisy_threshold in
+  if above then t.hits <- t.hits + 1;
+  above
+
+let hits t = t.hits
+
+let asked t = t.asked

@@ -1,0 +1,23 @@
+(** AboveThreshold / the sparse-vector technique.
+
+    Answers a stream of sensitivity-1 queries against a noisy threshold,
+    paying privacy budget only for the (at most [max_hits]) queries reported
+    above threshold. A standard example of how interactive DP mechanisms
+    bound the "too many questions" half of the Fundamental Law. *)
+
+type t
+
+val create : Prob.Rng.t -> epsilon:float -> threshold:float -> max_hits:int -> t
+(** Raises [Invalid_argument] if [epsilon <= 0] or [max_hits <= 0]. *)
+
+exception Budget_exhausted
+(** Raised by {!ask} after [max_hits] above-threshold answers. *)
+
+val ask : t -> float -> bool
+(** [ask t value] is [true] when the noisy value clears the noisy
+    threshold. *)
+
+val hits : t -> int
+(** Above-threshold answers delivered so far. *)
+
+val asked : t -> int

@@ -1,0 +1,27 @@
+let check_q q = if q <= 0. || q > 1. then invalid_arg "Dp.Subsample: q in (0,1]"
+
+let amplified_epsilon ~q ~epsilon =
+  check_q q;
+  if epsilon <= 0. then invalid_arg "Dp.Subsample: epsilon";
+  Float.log (1. +. (q *. (Float.exp epsilon -. 1.)))
+
+let required_epsilon ~q ~target =
+  check_q q;
+  if target <= 0. then invalid_arg "Dp.Subsample: target";
+  Float.log (1. +. ((Float.exp target -. 1.) /. q))
+
+let subsample rng ~q table =
+  check_q q;
+  let kept =
+    List.init (Dataset.Table.nrows table) Fun.id
+    |> List.filter (fun _ -> Prob.Sampler.bernoulli rng ~p:q)
+    |> Array.of_list
+  in
+  Dataset.Table.select table kept
+
+let mechanism ~q base =
+  check_q q;
+  {
+    Query.Mechanism.name = Printf.sprintf "subsample[q=%g] . %s" q base.Query.Mechanism.name;
+    run = (fun rng table -> base.Query.Mechanism.run rng (subsample rng ~q table));
+  }

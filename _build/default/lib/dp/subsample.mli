@@ -1,0 +1,22 @@
+(** Privacy amplification by subsampling.
+
+    Running an ε-DP mechanism on a uniformly subsampled q-fraction of the
+    data is ε′-DP with [ε′ = ln(1 + q·(e^ε − 1)) ≤ q·ε] — the standard
+    amplification lemma. This gives the library a second knob (sampling
+    rate) alongside noise scale. *)
+
+val amplified_epsilon : q:float -> epsilon:float -> float
+(** The amplified budget. Raises [Invalid_argument] unless [0 < q <= 1]
+    and [epsilon > 0]. *)
+
+val required_epsilon : q:float -> target:float -> float
+(** Inverse: the base-mechanism ε that achieves a [target] amplified ε at
+    sampling rate [q]. *)
+
+val subsample : Prob.Rng.t -> q:float -> Dataset.Table.t -> Dataset.Table.t
+(** Poisson subsampling: keep each row independently with probability
+    [q]. *)
+
+val mechanism : q:float -> Query.Mechanism.t -> Query.Mechanism.t
+(** Run the base mechanism on a fresh subsample. If the base mechanism is
+    ε-DP, the result is [amplified_epsilon ~q ~epsilon]-DP. *)

@@ -1,0 +1,76 @@
+module Value = Dataset.Value
+module Schema = Dataset.Schema
+module Table = Dataset.Table
+
+type generator = {
+  schema : Schema.t;
+  marginals : (string * Value.t Prob.Distribution.t) list;
+}
+
+let fit rng ~epsilon ~domains table =
+  if epsilon <= 0. then invalid_arg "Dp.Synthetic.fit: epsilon";
+  let schema = Table.schema table in
+  let names = Schema.names schema in
+  List.iter
+    (fun name ->
+      if not (List.mem_assoc name domains) then
+        invalid_arg (Printf.sprintf "Dp.Synthetic.fit: no domain for %S" name))
+    names;
+  let per_attribute = epsilon /. float_of_int (List.length names) in
+  let marginals =
+    List.map
+      (fun name ->
+        let j = Schema.index_of schema name in
+        let domain = List.assoc name domains in
+        if domain = [] then invalid_arg "Dp.Synthetic.fit: empty domain";
+        let weights =
+          List.map
+            (fun v ->
+              let exact =
+                Table.count (fun row -> Value.equal row.(j) v) table
+              in
+              let noisy =
+                float_of_int exact
+                +. Prob.Sampler.laplace rng ~scale:(1. /. per_attribute)
+              in
+              (v, Float.max 0. noisy))
+            domain
+        in
+        let total = List.fold_left (fun acc (_, w) -> acc +. w) 0. weights in
+        let dist =
+          if total <= 0. then Prob.Distribution.uniform domain
+          else Prob.Distribution.of_weights weights
+        in
+        (name, dist))
+      names
+  in
+  { schema; marginals }
+
+let sample rng g n =
+  let dists =
+    List.map (fun name -> List.assoc name g.marginals) (Schema.names g.schema)
+  in
+  Table.make g.schema
+    (Array.init n (fun _ ->
+         Array.of_list (List.map (fun d -> Prob.Distribution.sample rng d) dists)))
+
+let mechanism ~epsilon ~domains ~rows =
+  {
+    Query.Mechanism.name = Printf.sprintf "dp-synthetic[eps=%g, rows=%d]" epsilon rows;
+    run =
+      (fun rng table ->
+        let g = fit rng ~epsilon ~domains table in
+        Query.Mechanism.Release (sample rng g rows));
+  }
+
+let total_variation_error g model =
+  let names = Schema.names g.schema in
+  let total =
+    List.fold_left
+      (fun acc name ->
+        let fitted = List.assoc name g.marginals in
+        let reference = Dataset.Model.marginal model name in
+        acc +. Prob.Distribution.total_variation fitted reference)
+      0. names
+  in
+  total /. float_of_int (List.length names)

@@ -1,0 +1,1 @@
+lib/experiments/common.ml: Format List Printf String

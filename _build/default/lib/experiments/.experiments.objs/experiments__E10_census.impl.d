@@ -1,0 +1,1 @@
+lib/experiments/e10_census.ml: Array Attacks Common Dataset Format Legal List Printf

@@ -1,0 +1,1 @@
+lib/experiments/e10_census.mli: Common Format Prob

@@ -1,0 +1,1 @@
+lib/experiments/e11_membership.ml: Attacks Common Dataset List Printf

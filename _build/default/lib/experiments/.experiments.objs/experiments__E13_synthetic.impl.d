@@ -1,0 +1,1 @@
+lib/experiments/e13_synthetic.ml: Common Dataset Dp Lazy List Printf Pso Query

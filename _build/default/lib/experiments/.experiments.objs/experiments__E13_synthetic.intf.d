@@ -1,0 +1,1 @@
+lib/experiments/e13_synthetic.mli: Common Format Prob

@@ -1,0 +1,1 @@
+lib/experiments/e1_reconstruction.ml: Array Attacks Common Float List Printf Prob Query

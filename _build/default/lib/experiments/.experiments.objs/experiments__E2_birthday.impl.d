@@ -1,0 +1,1 @@
+lib/experiments/e2_birthday.ml: Common Dataset Format Lazy List Printf Prob Pso Query

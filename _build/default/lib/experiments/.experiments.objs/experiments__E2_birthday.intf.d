@@ -1,0 +1,1 @@
+lib/experiments/e2_birthday.mli: Common Format Prob

@@ -1,0 +1,1 @@
+lib/experiments/e3_count_secure.ml: Array Common Dataset Float Format Lazy List Printf Prob Pso Query

@@ -1,0 +1,1 @@
+lib/experiments/e3_count_secure.mli: Common Format Prob

@@ -1,0 +1,1 @@
+lib/experiments/e4_incomposability.ml: Common Dataset Lazy List Printf Prob Pso

@@ -1,0 +1,1 @@
+lib/experiments/e5_composition.ml: Array Common Dataset Lazy List Prob Pso

@@ -1,0 +1,1 @@
+lib/experiments/e5_composition.mli: Common Format Prob

@@ -1,0 +1,1 @@
+lib/experiments/e6_dp_defends.ml: Array Common Dataset Lazy List Printf Prob Pso Query

@@ -1,0 +1,1 @@
+lib/experiments/e6_dp_defends.mli: Common Format Prob

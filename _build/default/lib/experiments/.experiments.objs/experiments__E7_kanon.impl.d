@@ -1,0 +1,1 @@
+lib/experiments/e7_kanon.ml: Attacks Common Dataset Format Kanon List Printf Pso Query

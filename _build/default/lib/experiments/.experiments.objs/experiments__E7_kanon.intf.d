@@ -1,0 +1,1 @@
+lib/experiments/e7_kanon.mli: Common Format Prob

@@ -1,0 +1,1 @@
+lib/experiments/e8_sweeney.ml: Array Attacks Common Dataset Format Fun Int Legal List Prob

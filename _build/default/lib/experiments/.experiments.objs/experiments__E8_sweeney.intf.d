@@ -1,0 +1,1 @@
+lib/experiments/e8_sweeney.mli: Common Format Prob

@@ -1,0 +1,1 @@
+lib/experiments/e9_netflix.ml: Array Attacks Common Dataset List Prob

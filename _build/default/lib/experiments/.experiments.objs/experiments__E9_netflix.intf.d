@@ -1,0 +1,1 @@
+lib/experiments/e9_netflix.mli: Common Format Prob

@@ -1,0 +1,33 @@
+type scale = Quick | Full
+
+let table fmt ~header rows =
+  let all = header :: rows in
+  let cols = List.length header in
+  let width j =
+    List.fold_left
+      (fun acc row -> max acc (String.length (List.nth row j)))
+      0 all
+  in
+  let widths = List.init cols width in
+  let emit row =
+    List.iteri
+      (fun j cell -> Format.fprintf fmt "%-*s  " (List.nth widths j) cell)
+      row;
+    Format.pp_print_newline fmt ()
+  in
+  emit header;
+  List.iteri
+    (fun j w ->
+      ignore j;
+      Format.fprintf fmt "%s  " (String.make w '-'))
+    widths;
+  Format.pp_print_newline fmt ();
+  List.iter emit rows
+
+let pct f = Printf.sprintf "%.1f%%" (100. *. f)
+
+let g3 f = Printf.sprintf "%.3g" f
+
+let banner fmt ~id ~title ~claim =
+  Format.fprintf fmt "@.== %s: %s ==@." id title;
+  Format.fprintf fmt "paper claim: %s@.@." claim

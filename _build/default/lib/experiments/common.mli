@@ -1,0 +1,18 @@
+(** Shared experiment-harness plumbing: run scales and table rendering. *)
+
+type scale =
+  | Quick  (** seconds; used by tests and default CLI runs *)
+  | Full  (** the parameters recorded in EXPERIMENTS.md *)
+
+val table : Format.formatter -> header:string list -> string list list -> unit
+(** Fixed-width aligned table with a separator under the header. *)
+
+val pct : float -> string
+(** "36.8%" *)
+
+val g3 : float -> string
+(** "%.3g" *)
+
+val banner : Format.formatter -> id:string -> title:string -> claim:string -> unit
+(** The experiment's header block: id, title, and the paper claim being
+    reproduced. *)

@@ -1,0 +1,104 @@
+type row = {
+  attack : string;
+  n : int;
+  queries : int;
+  alpha : float;
+  agreement : float;
+  blatant : bool;
+}
+
+let random_bits rng n = Array.init n (fun _ -> if Prob.Rng.bool rng then 1 else 0)
+
+let mean_agreement rng ~trials ~n ~alpha attack =
+  let total = ref 0. in
+  for _ = 1 to trials do
+    let truth = random_bits rng n in
+    let oracle =
+      if alpha = 0. then Query.Oracle.exact truth
+      else Query.Oracle.bounded_noise rng ~magnitude:alpha truth
+    in
+    let result = attack oracle truth in
+    total := !total +. result.Attacks.Reconstruction.agreement
+  done;
+  !total /. float_of_int trials
+
+let make ~attack ~n ~queries ~alpha agreement =
+  {
+    attack;
+    n;
+    queries;
+    alpha;
+    agreement;
+    blatant = agreement >= Attacks.Reconstruction.blatant_non_privacy_threshold;
+  }
+
+let run ~scale rng =
+  let trials, lsq_ns, exh_n =
+    match scale with
+    | Common.Quick -> (2, [ 64 ], 8)
+    | Common.Full -> (5, [ 64; 256 ], 12)
+  in
+  let rows = ref [] in
+  (* Exhaustive attack (Theorem 1.1(i)): tolerates alpha = Theta(n). *)
+  let n = exh_n in
+  List.iter
+    (fun alpha ->
+      let agreement =
+        mean_agreement rng ~trials:1 ~n ~alpha (fun oracle truth ->
+            Attacks.Reconstruction.exhaustive oracle ~truth)
+      in
+      rows := make ~attack:"exhaustive" ~n ~queries:(1 lsl n) ~alpha agreement :: !rows)
+    [ 0.; float_of_int n /. 8.; float_of_int n /. 4. ];
+  (* Least-squares attack (Theorem 1.1(ii)): tolerates alpha = Theta(sqrt n). *)
+  List.iter
+    (fun n ->
+      let sqrt_n = Float.sqrt (float_of_int n) in
+      let queries = 8 * n in
+      List.iter
+        (fun alpha ->
+          let agreement =
+            mean_agreement rng ~trials ~n ~alpha (fun oracle truth ->
+                Attacks.Reconstruction.least_squares rng oracle ~queries ~truth)
+          in
+          rows := make ~attack:"least-squares" ~n ~queries ~alpha agreement :: !rows)
+        [ 0.; 0.5 *. sqrt_n; sqrt_n; float_of_int n /. 8.; float_of_int n /. 3. ])
+    lsq_ns;
+  (* LP decoding at a single modest size (slow but noise-robust). *)
+  let n = 32 in
+  let queries = 6 * n in
+  List.iter
+    (fun alpha ->
+      let agreement =
+        mean_agreement rng ~trials:1 ~n ~alpha (fun oracle truth ->
+            Attacks.Reconstruction.lp_decode rng oracle ~queries ~truth)
+      in
+      rows := make ~attack:"lp-decode" ~n ~queries ~alpha agreement :: !rows)
+    [ 0.; Float.sqrt 32. ];
+  List.rev !rows
+
+let print ~scale rng fmt =
+  Common.banner fmt ~id:"E1" ~title:"Database reconstruction (Theorem 1.1)"
+    ~claim:
+      "Reconstruction succeeds unless the mechanism adds error Omega(sqrt n) \
+       against polynomially many queries (Omega(n) against all queries); \
+       overly accurate answers to too many questions destroy privacy.";
+  let rows = run ~scale rng in
+  Common.table fmt
+    ~header:[ "attack"; "n"; "queries"; "alpha"; "recovered"; "blatant?" ]
+    (List.map
+       (fun r ->
+         [
+           r.attack;
+           string_of_int r.n;
+           string_of_int r.queries;
+           Printf.sprintf "%.1f" r.alpha;
+           Common.pct r.agreement;
+           (if r.blatant then "YES" else "no");
+         ])
+       rows)
+
+let kernel rng =
+  let n = 64 in
+  let truth = random_bits rng n in
+  let oracle = Query.Oracle.bounded_noise rng ~magnitude:2. truth in
+  ignore (Attacks.Reconstruction.least_squares rng oracle ~queries:(4 * n) ~truth)

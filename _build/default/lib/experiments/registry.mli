@@ -1,0 +1,15 @@
+(** Experiment registry: E1..E13 as uniform runnable entries, consumed by
+    the bench harness and the CLI. *)
+
+type entry = {
+  id : string;
+  title : string;
+  print : scale:Common.scale -> Prob.Rng.t -> Format.formatter -> unit;
+  kernel : Prob.Rng.t -> unit;  (** the operation Bechamel times *)
+}
+
+val all : entry list
+(** In id order, E1..E13. *)
+
+val find : string -> entry option
+(** Case-insensitive lookup by id ("e7" or "E7"). *)

@@ -1,0 +1,1 @@
+lib/kanon/anonymizer.ml: Array Datafly Dataset Generalization Incognito List Mondrian Printf Query Samarati

@@ -1,0 +1,1 @@
+lib/kanon/anonymizer.mli: Dataset Generalization Mondrian Query

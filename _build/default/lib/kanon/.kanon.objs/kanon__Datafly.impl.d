@@ -1,0 +1,1 @@
+lib/kanon/datafly.ml: Array Dataset Float Generalization Hashtbl Int List Printf

@@ -1,0 +1,1 @@
+lib/kanon/datafly.mli: Dataset Generalization

@@ -1,0 +1,1 @@
+lib/kanon/diversity.ml: Array Dataset Float Generalization List Prob

@@ -1,0 +1,1 @@
+lib/kanon/diversity.mli: Dataset

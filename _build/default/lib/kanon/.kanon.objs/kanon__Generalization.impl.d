@@ -1,0 +1,1 @@
+lib/kanon/generalization.ml: Array Dataset Float List Option Printf String

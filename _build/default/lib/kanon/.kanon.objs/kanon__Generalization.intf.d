@@ -1,0 +1,1 @@
+lib/kanon/generalization.mli: Dataset

@@ -1,0 +1,1 @@
+lib/kanon/incognito.ml: Dataset Fun Generalization List Metrics Printf

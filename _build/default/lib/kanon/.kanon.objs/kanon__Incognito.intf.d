@@ -1,0 +1,1 @@
+lib/kanon/incognito.mli: Dataset Generalization

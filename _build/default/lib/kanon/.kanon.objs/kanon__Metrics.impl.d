@@ -1,0 +1,1 @@
+lib/kanon/metrics.ml: Array Dataset List

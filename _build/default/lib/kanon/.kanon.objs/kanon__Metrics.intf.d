@@ -1,0 +1,1 @@
+lib/kanon/metrics.mli: Dataset

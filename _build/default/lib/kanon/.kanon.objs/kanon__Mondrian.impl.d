@@ -1,0 +1,1 @@
+lib/kanon/mondrian.ml: Array Dataset Float Fun Generalization List

@@ -1,0 +1,1 @@
+lib/kanon/mondrian.mli: Dataset Generalization

@@ -1,0 +1,1 @@
+lib/kanon/samarati.ml: Array Dataset Float Fun Generalization Int List Printf

@@ -1,0 +1,1 @@
+lib/kanon/samarati.mli: Dataset Generalization

@@ -1,0 +1,87 @@
+module Schema = Dataset.Schema
+module Table = Dataset.Table
+module Gtable = Dataset.Gtable
+module Hierarchy = Dataset.Hierarchy
+
+type result = {
+  release : Dataset.Gtable.t;
+  levels : (string * int) list;
+  suppressed : int;
+}
+
+let anonymize ~scheme ~k ?(max_suppression = 0.05) table =
+  if k < 1 then invalid_arg "Datafly.anonymize: k must be >= 1";
+  if max_suppression < 0. || max_suppression > 1. then
+    invalid_arg "Datafly.anonymize: max_suppression";
+  let schema = Table.schema table in
+  let qis = Generalization.quasi_identifiers schema in
+  List.iter
+    (fun qi ->
+      if not (List.mem_assoc qi scheme) then
+        invalid_arg (Printf.sprintf "Datafly.anonymize: no hierarchy for %S" qi))
+    qis;
+  let n = Table.nrows table in
+  let budget = int_of_float (Float.floor (max_suppression *. float_of_int n)) in
+  let levels = Hashtbl.create 8 in
+  List.iter (fun qi -> Hashtbl.replace levels qi 0) qis;
+  let current_levels () = List.map (fun qi -> (qi, Hashtbl.find levels qi)) qis in
+  let qi_indices = List.map (Schema.index_of schema) qis in
+  let rec loop () =
+    let release =
+      Generalization.full_domain schema scheme ~levels:(current_levels ()) table
+    in
+    (* Class sizes are determined by the generalized QI cells only. *)
+    let undersized =
+      Gtable.classes_on release qis
+      |> List.filter (fun c -> Array.length c.Gtable.members < k)
+    in
+    let undersized_rows =
+      List.fold_left (fun acc c -> acc + Array.length c.Gtable.members) 0 undersized
+    in
+    if undersized_rows <= budget then begin
+      let to_suppress =
+        Array.concat (List.map (fun c -> c.Gtable.members) undersized)
+      in
+      {
+        release = Generalization.suppress_rows release to_suppress;
+        levels = current_levels ();
+        suppressed = undersized_rows;
+      }
+    end
+    else begin
+      (* Generalize the QI with the most distinct generalized values that can
+         still climb. *)
+      let candidates =
+        List.filter_map
+          (fun (qi, j) ->
+            let h = List.assoc qi scheme in
+            let level = Hashtbl.find levels qi in
+            if level >= Hierarchy.height h - 1 then None
+            else begin
+              let seen = Hashtbl.create 32 in
+              Array.iter
+                (fun grow ->
+                  Hashtbl.replace seen (Dataset.Gvalue.to_string grow.(j)) ())
+                (Gtable.rows release);
+              Some (Hashtbl.length seen, qi)
+            end)
+          (List.combine qis qi_indices)
+      in
+      match List.sort (fun (a, _) (b, _) -> Int.compare b a) candidates with
+      | [] ->
+        (* Everything is fully suppressed already: suppress the stragglers
+           regardless of budget (degenerate input). *)
+        let to_suppress =
+          Array.concat (List.map (fun c -> c.Gtable.members) undersized)
+        in
+        {
+          release = Generalization.suppress_rows release to_suppress;
+          levels = current_levels ();
+          suppressed = undersized_rows;
+        }
+      | (_, qi) :: _ ->
+        Hashtbl.replace levels qi (Hashtbl.find levels qi + 1);
+        loop ()
+    end
+  in
+  loop ()

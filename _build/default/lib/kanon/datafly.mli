@@ -1,0 +1,23 @@
+(** Datafly-style greedy full-domain generalization (Sweeney 2002).
+
+    Repeatedly generalize (one hierarchy level at a time) the
+    quasi-identifier with the most distinct generalized values, until the
+    number of rows in undersized equivalence classes falls within the
+    suppression budget; then suppress those outlier rows entirely. *)
+
+type result = {
+  release : Dataset.Gtable.t;
+  levels : (string * int) list;  (** final generalization level per QI *)
+  suppressed : int;  (** rows replaced by all-[Any] *)
+}
+
+val anonymize :
+  scheme:Generalization.scheme ->
+  k:int ->
+  ?max_suppression:float ->
+  Dataset.Table.t ->
+  result
+(** [max_suppression] is the tolerated fraction of suppressed rows (default
+    [0.05]). Every quasi-identifier must appear in [scheme]. Raises
+    [Invalid_argument] on bad parameters; the algorithm always terminates
+    because every hierarchy tops out at full suppression. *)

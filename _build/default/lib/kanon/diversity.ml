@@ -1,0 +1,96 @@
+module Table = Dataset.Table
+module Gtable = Dataset.Gtable
+module Schema = Dataset.Schema
+
+let live_classes ~qis gtable =
+  Gtable.classes_on gtable qis
+  |> List.filter (fun c ->
+         not (Array.for_all Dataset.Gvalue.is_suppressed c.Gtable.rep))
+
+let class_sensitive_values ~sensitive table c =
+  let j = Schema.index_of (Table.schema table) sensitive in
+  Array.to_list (Array.map (fun i -> (Table.rows table).(i).(j)) c.Gtable.members)
+
+let l_diversity ~qis ~sensitive gtable table =
+  let classes = live_classes ~qis gtable in
+  if classes = [] then 0
+  else
+    List.fold_left
+      (fun acc c ->
+        let distinct =
+          List.sort_uniq Dataset.Value.compare
+            (class_sensitive_values ~sensitive table c)
+        in
+        min acc (List.length distinct))
+      max_int classes
+
+let distribution_of values =
+  Prob.Distribution.of_weights (List.map (fun v -> (v, 1.)) values)
+
+let t_closeness ~qis ~sensitive gtable table =
+  let classes = live_classes ~qis gtable in
+  if classes = [] then 0.
+  else begin
+    let j = Schema.index_of (Table.schema table) sensitive in
+    let global =
+      distribution_of
+        (Array.to_list (Array.map (fun row -> row.(j)) (Table.rows table)))
+    in
+    List.fold_left
+      (fun acc c ->
+        let local = distribution_of (class_sensitive_values ~sensitive table c) in
+        Float.max acc (Prob.Distribution.total_variation local global))
+      0. classes
+  end
+
+let t_closeness_ordered ~qis ~sensitive gtable table =
+  let j = Schema.index_of (Table.schema table) sensitive in
+  let domain =
+    Array.to_list (Array.map (fun row -> row.(j)) (Table.rows table))
+    |> List.sort_uniq Dataset.Value.compare
+  in
+  let m = List.length domain in
+  if m < 2 then invalid_arg "Diversity.t_closeness_ordered: domain too small";
+  let pmf values =
+    let n = float_of_int (List.length values) in
+    List.map
+      (fun v ->
+        float_of_int
+          (List.length (List.filter (Dataset.Value.equal v) values))
+        /. n)
+      domain
+  in
+  let global =
+    pmf (Array.to_list (Array.map (fun row -> row.(j)) (Table.rows table)))
+  in
+  (* EMD over the ordered line: mean absolute prefix-sum difference. *)
+  let emd p q =
+    let acc = ref 0. and prefix = ref 0. in
+    List.iter2
+      (fun a b ->
+        prefix := !prefix +. (a -. b);
+        acc := !acc +. Float.abs !prefix)
+      p q;
+    !acc /. float_of_int (m - 1)
+  in
+  let classes = live_classes ~qis gtable in
+  if classes = [] then 0.
+  else
+    List.fold_left
+      (fun acc c ->
+        let local = pmf (class_sensitive_values ~sensitive table c) in
+        Float.max acc (emd local global))
+      0. classes
+
+let enforce_l_diversity ~qis ~sensitive ~l gtable table =
+  let offenders =
+    live_classes ~qis gtable
+    |> List.filter (fun c ->
+           let distinct =
+             List.sort_uniq Dataset.Value.compare
+               (class_sensitive_values ~sensitive table c)
+           in
+           List.length distinct < l)
+  in
+  let rows = Array.concat (List.map (fun c -> c.Gtable.members) offenders) in
+  Generalization.suppress_rows gtable rows

@@ -1,0 +1,33 @@
+(** l-diversity and t-closeness checks.
+
+    Footnote 3 of the paper: the PSO analysis of k-anonymity "also holds for
+    variants such as l-diversity and t-closeness" — these checks let the E7
+    experiment confirm the attacked releases actually satisfy the stronger
+    variants too. *)
+
+val l_diversity :
+  qis:string list -> sensitive:string -> Dataset.Gtable.t -> Dataset.Table.t -> int
+(** The largest [l] such that every (non-suppressed) equivalence class
+    contains at least [l] distinct sensitive values; [0] if the release has
+    no classes. The source table supplies the raw sensitive values. *)
+
+val t_closeness :
+  qis:string list -> sensitive:string -> Dataset.Gtable.t -> Dataset.Table.t -> float
+(** The smallest [t] the release satisfies: the maximum, over classes, of the
+    total-variation distance between the class's sensitive-value distribution
+    and the whole table's (Li et al.'s equal-distance ground metric —
+    appropriate for nominal attributes). *)
+
+val t_closeness_ordered :
+  qis:string list -> sensitive:string -> Dataset.Gtable.t -> Dataset.Table.t -> float
+(** The same with Li et al.'s {e ordered-distance} ground metric: the earth
+    mover's distance over the sorted sensitive domain,
+    [1/(m−1) · Σᵢ |Σ_{j≤i} (p_j − q_j)|]. For numeric sensitive attributes
+    (salary, age) this penalizes a class concentrated at one end of the
+    scale, which total variation understates. Raises [Invalid_argument] if
+    the sensitive domain has fewer than 2 values. *)
+
+val enforce_l_diversity :
+  qis:string list -> sensitive:string -> l:int -> Dataset.Gtable.t -> Dataset.Table.t -> Dataset.Gtable.t
+(** Suppress every class with fewer than [l] distinct sensitive values —
+    the simplest way to upgrade a k-anonymous release to an l-diverse one. *)

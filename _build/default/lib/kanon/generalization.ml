@@ -1,0 +1,125 @@
+module Value = Dataset.Value
+module Schema = Dataset.Schema
+module Table = Dataset.Table
+module Gvalue = Dataset.Gvalue
+module Gtable = Dataset.Gtable
+module Hierarchy = Dataset.Hierarchy
+
+type scheme = (string * Hierarchy.t) list
+
+let quasi_identifiers schema = Schema.with_role schema Schema.Quasi_identifier
+
+let full_domain schema scheme ~levels table =
+  List.iter
+    (fun (name, _) ->
+      if not (List.mem_assoc name scheme) then
+        invalid_arg
+          (Printf.sprintf "Generalization.full_domain: no hierarchy for %S" name))
+    levels;
+  let attrs = Schema.attributes schema in
+  let plan =
+    Array.map
+      (fun a ->
+        if a.Schema.role = Schema.Identifier then `Suppress
+        else
+          match List.assoc_opt a.Schema.name scheme with
+          | None -> `Keep
+          | Some h ->
+            let level =
+              Option.value ~default:0 (List.assoc_opt a.Schema.name levels)
+            in
+            if level = 0 then `Keep else `Generalize (h, level))
+      attrs
+  in
+  let grows =
+    Array.map
+      (fun row ->
+        Array.mapi
+          (fun j v ->
+            match plan.(j) with
+            | `Suppress -> Gvalue.Any
+            | `Keep -> Gvalue.of_value v
+            | `Generalize (h, level) -> Hierarchy.apply h ~level v)
+          row)
+      (Table.rows table)
+  in
+  Gtable.make schema grows
+
+let suppress_rows gtable indices =
+  let arity = Schema.arity (Gtable.schema gtable) in
+  let rows = Array.map Array.copy (Gtable.rows gtable) in
+  Array.iter
+    (fun i -> rows.(i) <- Array.make arity Gvalue.Any)
+    indices;
+  Gtable.make (Gtable.schema gtable) rows
+
+let numeric_view values =
+  let floats = List.filter_map Value.to_float values in
+  if List.length floats = List.length values then Some floats else None
+
+let common_prefix_length a b =
+  let n = min (String.length a) (String.length b) in
+  let rec loop i = if i < n && a.[i] = b.[i] then loop (i + 1) else i in
+  loop 0
+
+let cover ?hierarchy values =
+  match values with
+  | [] -> invalid_arg "Generalization.cover: empty list"
+  | first :: rest ->
+    if List.for_all (Value.equal first) rest then Gvalue.Exact first
+    else begin
+      let strings =
+        List.filter_map
+          (function Value.String s -> Some s | _ -> None)
+          values
+      in
+      let all_strings = List.length strings = List.length values in
+      match hierarchy with
+      | Some h when Hierarchy.leaves h <> [] ->
+        (* Climb the taxonomy until one category covers every value. *)
+        let rec climb level =
+          if level >= Hierarchy.height h - 1 then Gvalue.Any
+          else begin
+            let g = Hierarchy.apply h ~level first in
+            if List.for_all (Gvalue.matches g) rest then g else climb (level + 1)
+          end
+        in
+        climb 1
+      | Some _ | None ->
+        if all_strings then begin
+          match strings with
+          | [] -> Gvalue.Any
+          | s0 :: _ ->
+            let same_length =
+              List.for_all (fun s -> String.length s = String.length s0) strings
+            in
+            if not same_length then Gvalue.Any
+            else begin
+              let k =
+                List.fold_left
+                  (fun acc s -> min acc (common_prefix_length s0 s))
+                  (String.length s0) strings
+              in
+              if k = 0 then Gvalue.Any else Gvalue.Prefix (s0, k)
+            end
+        end
+        else begin
+          match numeric_view values with
+          | None -> Gvalue.Any
+          | Some floats ->
+            let lo = List.fold_left Float.min (List.hd floats) floats in
+            let hi = List.fold_left Float.max (List.hd floats) floats in
+            let is_integral =
+              List.for_all
+                (fun v ->
+                  match v with
+                  | Value.Int _ | Value.Date _ -> true
+                  | Value.Float _ | Value.String _ | Value.Bool _ | Value.Null ->
+                    false)
+                values
+            in
+            if is_integral then
+              Gvalue.Int_range (int_of_float lo, int_of_float hi)
+            else Gvalue.Float_range (lo, hi +. 1e-9)
+        end
+    end

@@ -1,0 +1,89 @@
+module Table = Dataset.Table
+module Gtable = Dataset.Gtable
+module Hierarchy = Dataset.Hierarchy
+
+type result = {
+  release : Dataset.Gtable.t;
+  levels : (string * int) list;
+  frontier : (string * int) list list;
+  tested : int;
+}
+
+let dominates a b = List.for_all2 (fun x y -> x >= y) a b
+
+(* All level vectors within bounds of total height h (same enumeration as
+   Samarati's, local to keep the modules independent). *)
+let vectors_at_height bounds height =
+  let rec go bounds height =
+    match bounds with
+    | [] -> if height = 0 then [ [] ] else []
+    | b :: rest ->
+      List.concat_map
+        (fun l -> List.map (fun tail -> l :: tail) (go rest (height - l)))
+        (List.init (min b height + 1) Fun.id)
+  in
+  go bounds height
+
+let anonymize ~scheme ~k table =
+  if k < 1 then invalid_arg "Incognito.anonymize: k must be >= 1";
+  let schema = Table.schema table in
+  let qis = Generalization.quasi_identifiers schema in
+  let hierarchies =
+    List.map
+      (fun qi ->
+        match List.assoc_opt qi scheme with
+        | Some h -> h
+        | None ->
+          invalid_arg (Printf.sprintf "Incognito.anonymize: no hierarchy for %S" qi))
+      qis
+  in
+  let bounds = List.map (fun h -> Hierarchy.height h - 1) hierarchies in
+  let max_height = List.fold_left ( + ) 0 bounds in
+  let tested = ref 0 in
+  let satisfies node =
+    incr tested;
+    let levels = List.combine qis node in
+    let release = Generalization.full_domain schema scheme ~levels table in
+    Gtable.min_class_size_on release qis >= k
+  in
+  (* Bottom-up by total height; skip nodes dominating a known-satisfying
+     node (they satisfy by monotonicity and are not minimal). *)
+  let frontier = ref [] in
+  for h = 0 to max_height do
+    List.iter
+      (fun node ->
+        let dominated = List.exists (fun m -> dominates node m) !frontier in
+        if (not dominated) && satisfies node then frontier := node :: !frontier)
+      (vectors_at_height bounds h)
+  done;
+  let frontier_nodes = List.rev !frontier in
+  (match frontier_nodes with
+  | [] ->
+    (* The all-Any top always yields one class of size n; only k > n can
+       make the lattice infeasible. *)
+    invalid_arg "Incognito.anonymize: no satisfying node (k > n?)"
+  | _ -> ());
+  (* Pick the frontier node minimizing discernibility on this data. *)
+  let score node =
+    let levels = List.combine qis node in
+    let release = Generalization.full_domain schema scheme ~levels table in
+    (Metrics.discernibility ~qis release, release, levels)
+  in
+  let best =
+    List.fold_left
+      (fun acc node ->
+        let (s, _, _) as candidate = score node in
+        match acc with
+        | Some ((s', _, _) as best) -> Some (if s < s' then candidate else best)
+        | None -> Some candidate)
+      None frontier_nodes
+  in
+  match best with
+  | Some (_, release, levels) ->
+    {
+      release;
+      levels;
+      frontier = List.map (fun node -> List.combine qis node) frontier_nodes;
+      tested = !tested;
+    }
+  | None -> assert false

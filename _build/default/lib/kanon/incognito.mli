@@ -1,0 +1,29 @@
+(** Incognito-style full-domain lattice enumeration (LeFevre–DeWitt–
+    Ramakrishnan, SIGMOD 2005).
+
+    Level vectors over the quasi-identifier hierarchies form a lattice;
+    k-anonymity is {e monotone} along generalization (anything above a
+    satisfying node satisfies too). Incognito's contribution over
+    Samarati's height search is enumerating {e all minimal} satisfying
+    nodes — the Pareto frontier of full-domain generalizations — visiting
+    the lattice bottom-up and pruning everything that dominates a node
+    already known to satisfy. The caller then picks among the frontier by
+    an information-loss metric instead of by height alone. *)
+
+type result = {
+  release : Dataset.Gtable.t;  (** built from the chosen frontier node *)
+  levels : (string * int) list;  (** the chosen node *)
+  frontier : (string * int) list list;  (** all minimal satisfying nodes *)
+  tested : int;  (** lattice nodes actually evaluated (pruning at work) *)
+}
+
+val anonymize :
+  scheme:Generalization.scheme -> k:int -> Dataset.Table.t -> result
+(** Strict k-anonymity (no suppression). The chosen node minimizes the
+    discernibility metric over the frontier. Exponential in the number of
+    quasi-identifiers, like the lattice itself; intended for the handful
+    of QIs of demographic tables. Raises [Invalid_argument] on [k < 1] or
+    a quasi-identifier missing from [scheme]. *)
+
+val dominates : int list -> int list -> bool
+(** Coordinatewise [>=] (exposed for tests). *)

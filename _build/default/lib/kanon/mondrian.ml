@@ -1,0 +1,124 @@
+module Value = Dataset.Value
+module Schema = Dataset.Schema
+module Table = Dataset.Table
+module Gvalue = Dataset.Gvalue
+module Gtable = Dataset.Gtable
+
+(* Values are ordered by Value.compare; medians and spans are computed on the
+   sorted distinct values of the current partition, which handles numeric and
+   categorical attributes uniformly. *)
+
+let distinct_sorted values =
+  let sorted = List.sort_uniq Value.compare values in
+  Array.of_list sorted
+
+let span_of schema table indices attr_index =
+  ignore schema;
+  let values =
+    List.filter_map
+      (fun i ->
+        let v = (Table.rows table).(i).(attr_index) in
+        if v = Value.Null then None else Some v)
+      indices
+  in
+  distinct_sorted values
+
+type recoding = Member_level | Class_level
+
+let anonymize ?(hierarchies = []) ?(recoding = Member_level) ~k table =
+  if k < 1 then invalid_arg "Mondrian.anonymize: k must be >= 1";
+  if Table.nrows table < k then
+    invalid_arg "Mondrian.anonymize: fewer than k rows";
+  let schema = Table.schema table in
+  let attrs = Schema.attributes schema in
+  let qi_indices =
+    List.filter_map
+      (fun j ->
+        if attrs.(j).Schema.role = Schema.Quasi_identifier then Some j else None)
+      (List.init (Array.length attrs) Fun.id)
+  in
+  let rows = Table.rows table in
+  let out = Array.make (Table.nrows table) [||] in
+  (* Normalized span: distinct-value count of the partition divided by the
+     distinct-value count of the whole table, so attributes with different
+     domain sizes compete fairly. *)
+  let global_counts =
+    List.map
+      (fun j ->
+        (j, max 1 (Array.length (span_of schema table (List.init (Table.nrows table) Fun.id) j))))
+      qi_indices
+  in
+  let emit indices =
+    let members = Array.of_list indices in
+    let cover_cell attr j =
+      let values = List.map (fun i -> rows.(i).(j)) indices in
+      let hierarchy = List.assoc_opt attr.Schema.name hierarchies in
+      let g = Generalization.cover ?hierarchy values in
+      fun _ -> g
+    in
+    let grow_for j =
+      let attr = attrs.(j) in
+      if attr.Schema.role = Schema.Identifier then fun _ -> Gvalue.Any
+      else if attr.Schema.role = Schema.Quasi_identifier then cover_cell attr j
+      else
+        match recoding with
+        | Member_level -> fun row -> Gvalue.of_value row.(j)
+        | Class_level -> cover_cell attr j
+    in
+    let cells = Array.init (Array.length attrs) grow_for in
+    Array.iter
+      (fun i -> out.(i) <- Array.map (fun cell -> cell rows.(i)) cells)
+      members
+  in
+  let rec partition indices size =
+    if size < 2 * k then emit indices
+    else begin
+      (* Candidate splits ranked by normalized span. *)
+      let candidates =
+        List.filter_map
+          (fun j ->
+            let distinct = span_of schema table indices j in
+            if Array.length distinct < 2 then None
+            else begin
+              let total = List.assoc j global_counts in
+              let score = float_of_int (Array.length distinct) /. float_of_int total in
+              Some (score, j, distinct)
+            end)
+          qi_indices
+        |> List.sort (fun (a, _, _) (b, _, _) -> Float.compare b a)
+      in
+      let rec try_splits = function
+        | [] -> emit indices
+        | (_, j, distinct) :: rest ->
+          (* Median split on distinct values: left gets values <= median. *)
+          let median = distinct.(Array.length distinct / 2) in
+          let left, right =
+            List.partition (fun i -> Value.compare rows.(i).(j) median < 0) indices
+          in
+          let ln = List.length left and rn = List.length right in
+          if ln >= k && rn >= k then begin
+            partition left ln;
+            partition right rn
+          end
+          else begin
+            (* Try the other cut point (values < median vs >=) failing which
+               move to the next attribute. *)
+            let left', right' =
+              List.partition
+                (fun i -> Value.compare rows.(i).(j) median <= 0)
+                indices
+            in
+            let ln' = List.length left' and rn' = List.length right' in
+            if ln' >= k && rn' >= k then begin
+              partition left' ln';
+              partition right' rn'
+            end
+            else try_splits rest
+          end
+      in
+      try_splits candidates
+    end
+  in
+  let all = List.init (Table.nrows table) Fun.id in
+  partition all (Table.nrows table);
+  Gtable.make schema out

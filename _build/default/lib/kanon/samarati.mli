@@ -1,0 +1,26 @@
+(** Samarati's lattice search for minimal full-domain generalization
+    (Samarati 2001; the original k-anonymity algorithm family with
+    Samarati–Sweeney 1998, cited by the paper).
+
+    Level vectors over the quasi-identifier hierarchies form a lattice
+    ordered coordinatewise; the total height [Σ levels] is monotone in
+    utility loss. Binary-search the minimum height at which some vector
+    yields k-anonymity within the suppression budget, then return a vector
+    at that height (fewest suppressed rows as tie-break). *)
+
+type result = {
+  release : Dataset.Gtable.t;
+  levels : (string * int) list;
+  suppressed : int;
+  height : int;  (** total generalization height of the chosen vector *)
+}
+
+val anonymize :
+  scheme:Generalization.scheme ->
+  k:int ->
+  ?max_suppression:float ->
+  Dataset.Table.t ->
+  result
+(** Exhaustive at each height over all level vectors (exponential in the
+    number of quasi-identifiers — intended for the handful of QIs typical of
+    demographic tables). Parameters as in {!Datafly.anonymize}. *)

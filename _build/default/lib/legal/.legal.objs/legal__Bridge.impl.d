@@ -1,0 +1,1 @@
+lib/legal/bridge.ml: Concept Format Source

@@ -1,0 +1,1 @@
+lib/legal/bridge.mli: Concept Format Source

@@ -1,0 +1,1 @@
+lib/legal/concept.ml: List Source

@@ -1,0 +1,1 @@
+lib/legal/determinations.ml: Float Printf Pso Source Technology Theorem

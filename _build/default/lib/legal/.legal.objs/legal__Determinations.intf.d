@@ -1,0 +1,1 @@
+lib/legal/determinations.mli: Theorem

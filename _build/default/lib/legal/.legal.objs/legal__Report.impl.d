@@ -1,0 +1,1 @@
+lib/legal/report.ml: Format List Printf Pso Technology Theorem Wp29

@@ -1,0 +1,1 @@
+lib/legal/report.mli: Format Prob Pso Theorem Wp29

@@ -1,0 +1,1 @@
+lib/legal/safe_harbor.ml: Array Dataset String

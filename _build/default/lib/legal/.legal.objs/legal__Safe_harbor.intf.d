@@ -1,0 +1,1 @@
+lib/legal/safe_harbor.mli: Dataset

@@ -1,0 +1,1 @@
+lib/legal/source.mli: Format

@@ -1,0 +1,1 @@
+lib/legal/theorem.ml: Bridge Format List Printf Pso Source Technology

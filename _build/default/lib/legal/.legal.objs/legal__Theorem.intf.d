@@ -1,0 +1,1 @@
+lib/legal/theorem.mli: Bridge Format Pso Source Technology

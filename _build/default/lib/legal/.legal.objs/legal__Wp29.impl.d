@@ -1,0 +1,1 @@
+lib/legal/wp29.ml: Format List Pso String Technology

@@ -1,0 +1,1 @@
+lib/legal/wp29.mli: Format Pso Technology

@@ -1,0 +1,52 @@
+type direction = Weaker_than_legal | Stronger_than_legal
+
+type t = {
+  id : string;
+  math_notion : string;
+  legal_concept : Concept.t;
+  direction : direction;
+  justification : string;
+  source : Source.t;
+}
+
+let failure_transfers t = t.direction = Weaker_than_legal
+
+let success_transfers t = t.direction = Stronger_than_legal
+
+let pso_to_gdpr_singling_out =
+  {
+    id = "B1";
+    math_notion = "security against predicate singling out (Definition 2.4)";
+    legal_concept = Concept.Singling_out;
+    direction = Weaker_than_legal;
+    justification =
+      "PSO weakens the GDPR notion in two deliberate ways: the attacker has \
+       no auxiliary information, and records are drawn i.i.d. from a fixed \
+       distribution. Preventing a weaker notion is necessary but potentially \
+       insufficient for preventing the legal notion, so failures — and only \
+       failures — transfer to the legal standard.";
+    source = Source.wp29_personal_data;
+  }
+
+let singling_out_to_anonymization =
+  {
+    id = "B2";
+    math_notion = "prevention of singling out";
+    legal_concept = Concept.Anonymous_data;
+    direction = Weaker_than_legal;
+    justification =
+      "Recital 26 lists singling out among the means reasonably likely to be \
+       used to identify a person; data rendered anonymous must therefore \
+       resist it. Other unenumerated means may also be required, so \
+       preventing singling out is necessary but not sufficient for the \
+       anonymization standard.";
+    source = Source.gdpr_recital_26;
+  }
+
+let pp fmt t =
+  Format.fprintf fmt "%s: %s %s %S (%s)" t.id t.math_notion
+    (match t.direction with
+    | Weaker_than_legal -> "is necessary for the legal concept"
+    | Stronger_than_legal -> "is sufficient for the legal concept")
+    (Concept.name t.legal_concept)
+    t.source.Source.id

@@ -1,0 +1,49 @@
+(** Bridges: the modeling assumptions connecting mathematical definitions to
+    legal concepts.
+
+    Section 2.2's central design decision: predicate singling out (PSO) is a
+    formulation {e weaker} than the GDPR's intended notion — the modeled
+    attacker has no auxiliary information and faces i.i.d. data. The
+    direction of that weakening is what gives the analysis legal force:
+
+    - security against the weaker notion is {e necessary} for the legal
+      standard, so a technology that fails PSO fails the GDPR notion
+      ({!failure_transfers});
+    - success against the weaker notion transfers {e no} positive
+      conclusion ({!success_transfers} is [false] for this bridge).
+
+    A bridge in the other direction (a definition {e stronger} than the
+    legal concept) would transfer successes and not failures. Making the
+    direction explicit keeps legal theorems honest about what they do and
+    do not establish. *)
+
+type direction =
+  | Weaker_than_legal  (** math notion necessary for the legal standard *)
+  | Stronger_than_legal  (** math notion sufficient for the legal standard *)
+
+type t = {
+  id : string;
+  math_notion : string;
+  legal_concept : Concept.t;
+  direction : direction;
+  justification : string;  (** the modeling argument, citing its source *)
+  source : Source.t;
+}
+
+val failure_transfers : t -> bool
+(** Failing the math notion implies failing the legal concept's
+    requirement. *)
+
+val success_transfers : t -> bool
+(** Satisfying the math notion implies satisfying the legal requirement. *)
+
+val pso_to_gdpr_singling_out : t
+(** The paper's bridge: PSO-security is a weakened form of preventing
+    GDPR singling out (attackers without auxiliary information, i.i.d.
+    data). *)
+
+val singling_out_to_anonymization : t
+(** Recital 26: preventing singling out is necessary (not sufficient) for
+    the GDPR anonymization standard. *)
+
+val pp : Format.formatter -> t -> unit

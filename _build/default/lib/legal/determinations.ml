@@ -1,0 +1,127 @@
+let measurement ~id ~title ~statement ~expectation ~measured ~holds =
+  { Pso.Theorems.id; title; statement; expectation; measured; holds }
+
+let safe_harbor ~reidentification_rate ~population =
+  let material = reidentification_rate > 0.001 in
+  let premise =
+    measurement ~id:"E8 (safe-harbor linkage)"
+      ~title:"Residual linkage risk after safe-harbor redaction"
+      ~statement:
+        "Applying the 18-identifier redaction and re-running the \
+         quasi-identifier linkage attack."
+      ~expectation:"re-identification rate ~0 if the redaction sufficed"
+      ~measured:
+        [
+          ("reidentification_rate", reidentification_rate);
+          ("population", float_of_int population);
+        ]
+      ~holds:material
+  in
+  {
+    Theorem.name = "Safe-harbor determination";
+    about = Technology.Hipaa_safe_harbor;
+    standard = "HIPAA de-identification (45 C.F.R. 164.514(b) safe harbor)";
+    standing =
+      (if material then Theorem.Fails_standard
+       else Theorem.Necessary_condition_met);
+    conclusion =
+      (if material then
+         Printf.sprintf
+           "Safe-harbor redaction left a measured re-identification rate of \
+            %.1f%% at population %d; a processor aware of this measurement \
+            has 'actual knowledge that the remaining information could be \
+            used to identify the individual', so the safe-harbor conditions \
+            cannot be met for this release."
+           (100. *. reidentification_rate)
+           population
+       else
+         Printf.sprintf
+           "At population %d the measured residual re-identification rate \
+            (%.3f%%) is immaterial; the safe-harbor conditions are \
+            satisfiable for this release, subject to the usual expert \
+            review." population
+           (100. *. reidentification_rate));
+    premises =
+      [ Theorem.Technical premise; Theorem.Legal_text Source.hipaa_privacy_rule ];
+    falsifiable_by =
+      "a linkage measurement on this release shape showing re-identification \
+       at or below noise";
+  }
+
+let erasure ~server ~respected =
+  let premise =
+    measurement ~id:"erasure isolation check"
+      ~title:"Erased record still influences answers?"
+      ~statement:
+        "After the erasure request, the erased record's full-tuple count was \
+         compared against the count over the genuinely remaining records."
+      ~expectation:"the two counts agree iff erasure was honoured"
+      ~measured:[ ("respected", if respected then 1. else 0.) ]
+      ~holds:(not respected)
+  in
+  {
+    Theorem.name = "Erasure determination";
+    about = Technology.Raw_release;
+    standard = "GDPR right to erasure (Article 17)";
+    standing =
+      (if respected then Theorem.Necessary_condition_met
+       else Theorem.Fails_standard);
+    conclusion =
+      (if respected then
+         Printf.sprintf
+           "Server %S no longer reflects the erased record in any answer \
+            tested; the erasure obligation is met for the query surface \
+            examined." server
+       else
+         Printf.sprintf
+           "Server %S still singles out the erased record through its \
+            answers: the personal data was not erased, only hidden from \
+            bookkeeping." server);
+    premises =
+      [ Theorem.Technical premise; Theorem.Legal_text Source.gdpr_article_17 ];
+    falsifiable_by =
+      "an answer-level distinguisher (isolation of the erased record) on \
+       the server after the erasure request";
+  }
+
+let title_13 ~confirmed_rate ~prior_estimate =
+  let violated = confirmed_rate >= 10. *. prior_estimate in
+  let premise =
+    measurement ~id:"E10 (census reconstruction)"
+      ~title:"Reconstruction-abetted re-identification of tabulations"
+      ~statement:
+        "Block-level marginal tables were reconstructed into microdata and \
+         linked to an identified commercial database."
+      ~expectation:"confirmed re-identification at or below the prior estimate"
+      ~measured:
+        [
+          ("confirmed_rate", confirmed_rate);
+          ("prior_estimate", prior_estimate);
+          ("gap_factor", confirmed_rate /. Float.max prior_estimate 1e-12);
+        ]
+      ~holds:violated
+  in
+  {
+    Theorem.name = "Title 13 determination";
+    about = Technology.Raw_release;
+    standard = "13 U.S.C. 9 (no publication whereby individual data can be identified)";
+    standing =
+      (if violated then Theorem.Fails_standard else Theorem.Undetermined);
+    conclusion =
+      (if violated then
+         Printf.sprintf
+           "The published tabulations admit confirmed re-identification of \
+            %.1f%% of the population — %.0fx the prior risk estimate — i.e. \
+            a publication whereby data furnished by particular individuals \
+            can be identified."
+           (100. *. confirmed_rate)
+           (confirmed_rate /. Float.max prior_estimate 1e-12)
+       else
+         "The measured re-identification rate does not materially exceed \
+          the prior estimate at this scale.");
+    premises =
+      [ Theorem.Technical premise; Theorem.Legal_text Source.title_13 ];
+    falsifiable_by =
+      "a reconstruction + linkage measurement on these tabulations with \
+       confirmed re-identification near the prior estimate";
+  }

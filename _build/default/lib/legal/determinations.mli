@@ -1,0 +1,30 @@
+(** Legal determinations beyond the GDPR singling-out analysis.
+
+    The paper's Section 1 narrative carries two more legal hooks that this
+    repository measures directly: the HIPAA safe-harbor de-identification
+    method (whose residual risk the E8 linkage experiment quantifies) and
+    the Title 13 census confidentiality mandate (whose violation the E10
+    reconstruction experiment demonstrates). These determinations use the
+    same machinery as the GDPR theorems — technical premise, quoted text,
+    falsifiability — so they render in the same reports. *)
+
+val safe_harbor : reidentification_rate:float -> population:int -> Theorem.t
+(** The HIPAA safe-harbor method applied to a GIC-style table leaves the
+    measured re-identification rate (E8). Standing is [Fails_standard] when
+    the rate is materially positive (> 0.1%): the rule's own "no actual
+    knowledge that the remaining information could be used to identify"
+    clause is then unsatisfiable for an informed processor. Otherwise
+    [Necessary_condition_met] (the redaction held at this scale). *)
+
+val erasure : server:string -> respected:bool -> Theorem.t
+(** GDPR Article 17: did a query server honour an erasure request? The
+    premise is an isolation check (the erasure isolation check): if the
+    erased record can still be singled out through the server's answers,
+    the data was not erased. *)
+
+val title_13 : confirmed_rate:float -> prior_estimate:float -> Theorem.t
+(** Reconstruction-abetted re-identification of published tabulations at
+    the measured confirmed rate (E10), versus the agency's prior risk
+    estimate. [Fails_standard] when the measured rate exceeds the prior by
+    10x or more — publications "whereby the data furnished by any
+    particular individual can be identified". *)

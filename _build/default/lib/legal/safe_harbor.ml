@@ -1,0 +1,65 @@
+module Value = Dataset.Value
+module Schema = Dataset.Schema
+module Table = Dataset.Table
+module Gvalue = Dataset.Gvalue
+module Gtable = Dataset.Gtable
+
+let deidentify table =
+  let schema = Table.schema table in
+  let attrs = Schema.attributes schema in
+  let cell j v =
+    let attr = attrs.(j) in
+    match attr.Schema.role with
+    | Schema.Identifier -> Gvalue.Any
+    | Schema.Quasi_identifier | Schema.Sensitive | Schema.Insensitive -> (
+      match v with
+      | Value.String s when String.length s = 5 && attr.Schema.role = Schema.Quasi_identifier ->
+        Gvalue.Prefix (s, 3)
+      | Value.Date d ->
+        let start = Value.{ year = d.year; month = 1; day = 1 } in
+        let stop = Value.{ year = d.year; month = 12; day = 31 } in
+        Gvalue.Int_range (Value.date_ordinal start, Value.date_ordinal stop)
+      | other -> Gvalue.Exact other)
+  in
+  Gtable.make schema
+    (Array.map (fun row -> Array.mapi cell row) (Table.rows table))
+
+let release_table gtable =
+  let schema = Gtable.schema gtable in
+  let attrs = Schema.attributes schema in
+  let raw j g =
+    match g with
+    | Gvalue.Exact v -> v
+    | Gvalue.Any -> Value.Null
+    | Gvalue.Prefix (s, k) ->
+      Value.String (String.sub s 0 k ^ String.make (String.length s - k) '*')
+    | Gvalue.Int_range (lo, hi) -> (
+      match attrs.(j).Schema.kind with
+      | Value.Kdate ->
+        (* Render the range's year: ordinals encode year*372 + ... *)
+        Value.String (string_of_int (((lo + hi) / 2) / 372))
+      | _ -> Value.Int ((lo + hi) / 2))
+    | Gvalue.Float_range (lo, hi) -> Value.Float ((lo +. hi) /. 2.)
+    | Gvalue.Category { label; _ } -> Value.String label
+  in
+  let schema' =
+    (* Re-kind date columns: they now carry year labels. *)
+    Schema.make
+      (Array.to_list
+         (Array.map
+            (fun (a : Schema.attribute) ->
+              match a.Schema.kind with
+              | Value.Kdate -> { a with Schema.kind = Value.Kstring }
+              | _ -> a)
+            attrs))
+  in
+  let coerce j v =
+    match (Value.kind_of v, (Schema.attribute schema' j).Schema.kind) with
+    | None, _ -> v
+    | Some k, k' when k = k' -> v
+    | Some _, _ -> Value.String (Value.to_string v)
+  in
+  Table.make schema'
+    (Array.map
+       (fun grow -> Array.mapi (fun j g -> coerce j (raw j g)) grow)
+       (Gtable.rows gtable))

@@ -1,0 +1,19 @@
+(** The HIPAA safe-harbor de-identification method (Section 1.2).
+
+    The privacy rule enumerates 18 identifiers to redact; for the
+    demographic tables modeled here that means: direct identifiers removed,
+    geographic detail coarsened to the first 3 ZIP digits, and dates reduced
+    to years. The output is a generalized release — against which the
+    linkage experiment (E8) measures how much re-identification risk the
+    prescription actually removes. *)
+
+val deidentify : Dataset.Table.t -> Dataset.Gtable.t
+(** Applies the safe-harbor recipe by attribute role and kind: [Identifier]
+    attributes are suppressed; string quasi-identifiers that look like ZIP
+    codes (5 characters) keep a 3-character prefix; date attributes are
+    generalized to their year; everything else is kept. *)
+
+val release_table : Dataset.Gtable.t -> Dataset.Table.t
+(** Flatten a safe-harbor release back to raw-valued form for linkage
+    experiments: prefixes become the retained prefix (with ['*'] padding),
+    ranges their midpoint date/int rendering, suppressed cells [Null]. *)

@@ -1,0 +1,57 @@
+type risk = Risk | No_risk | May_not_be_risk
+
+let risk_name = function
+  | Risk -> "yes (risk)"
+  | No_risk -> "no"
+  | May_not_be_risk -> "may not"
+
+let wp29_assessment = function
+  | Technology.K_anonymity | Technology.L_diversity -> Some No_risk
+  | Technology.T_closeness -> Some No_risk
+  | Technology.Differential_privacy -> Some May_not_be_risk
+  | Technology.Raw_release | Technology.Hipaa_safe_harbor
+  | Technology.Count_release ->
+    None
+
+type row = {
+  technology : Technology.t;
+  wp29 : risk option;
+  ours : risk;
+  evidence : string;
+  conflict : bool;
+}
+
+let comparison ~kanon ~dp =
+  let make technology ours evidence =
+    let wp29 = wp29_assessment technology in
+    {
+      technology;
+      wp29;
+      ours;
+      evidence;
+      conflict = (match wp29 with Some w -> w <> ours | None -> false);
+    }
+  in
+  let kanon_risk =
+    if kanon.Pso.Theorems.holds then Risk else May_not_be_risk
+  in
+  let dp_risk = if dp.Pso.Theorems.holds then No_risk else May_not_be_risk in
+  [
+    make Technology.K_anonymity kanon_risk "Theorem 2.10 (measured)";
+    make Technology.L_diversity kanon_risk "Theorem 2.10 + footnote 3";
+    make Technology.T_closeness kanon_risk "Theorem 2.10 + footnote 3";
+    make Technology.Differential_privacy dp_risk "Theorem 2.9 (measured)";
+  ]
+
+let pp_table fmt rows =
+  Format.fprintf fmt "%-22s  %-12s  %-12s  %-28s  %s@." "Technology"
+    "WP29 (2014)" "This work" "Evidence" "Conflict";
+  Format.fprintf fmt "%s@." (String.make 90 '-');
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "%-22s  %-12s  %-12s  %-28s  %s@."
+        (Technology.name r.technology)
+        (match r.wp29 with Some w -> risk_name w | None -> "-")
+        (risk_name r.ours) r.evidence
+        (if r.conflict then "CONFLICT" else ""))
+    rows

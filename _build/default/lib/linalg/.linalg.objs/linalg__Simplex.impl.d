@@ -1,0 +1,1 @@
+lib/linalg/simplex.ml: Array Float List

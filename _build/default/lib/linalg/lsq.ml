@@ -1,0 +1,69 @@
+type options = { max_iter : int; tolerance : float }
+
+let default_options = { max_iter = 500; tolerance = 1e-9 }
+
+let conjugate_gradient ?(options = default_options) apply b =
+  let n = Vector.dim b in
+  let x = Vector.create n 0. in
+  let r = Vector.copy b in
+  let p = Vector.copy b in
+  let rs_old = ref (Vector.dot r r) in
+  let iter = ref 0 in
+  let continue_ = ref (!rs_old > options.tolerance *. options.tolerance) in
+  while !continue_ && !iter < options.max_iter do
+    let ap = apply p in
+    let pap = Vector.dot p ap in
+    if pap <= 0. then continue_ := false
+    else begin
+      let alpha = !rs_old /. pap in
+      Vector.axpy alpha p x;
+      Vector.axpy (-.alpha) ap r;
+      let rs_new = Vector.dot r r in
+      if Float.sqrt rs_new < options.tolerance then continue_ := false
+      else begin
+        let beta = rs_new /. !rs_old in
+        for i = 0 to n - 1 do
+          p.(i) <- r.(i) +. (beta *. p.(i))
+        done;
+        rs_old := rs_new
+      end;
+      incr iter
+    end
+  done;
+  x
+
+(* Largest singular value of A, squared, via power iteration on AᵀA. *)
+let lipschitz a =
+  let n = Matrix.cols a in
+  let v = ref (Array.init n (fun i -> 1. /. Float.sqrt (float_of_int (max n 1)) +. (0.001 *. float_of_int i))) in
+  let lambda = ref 1. in
+  for _ = 1 to 50 do
+    let w = Matrix.tmul_vec a (Matrix.mul_vec a !v) in
+    let norm = Vector.norm2 w in
+    if norm > 0. then begin
+      lambda := norm;
+      v := Vector.scale (1. /. norm) w
+    end
+  done;
+  Float.max !lambda 1e-12
+
+let residual a z b =
+  let r = Vector.sub (Matrix.mul_vec a z) b in
+  Vector.dot r r
+
+let solve_box ?(options = default_options) a b ~lo ~hi =
+  if hi < lo then invalid_arg "Lsq.solve_box: empty box";
+  let n = Matrix.cols a in
+  let step = 1. /. lipschitz a in
+  let z = ref (Vector.create n ((lo +. hi) /. 2.)) in
+  let iter = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && !iter < options.max_iter do
+    let grad = Matrix.tmul_vec a (Vector.sub (Matrix.mul_vec a !z) b) in
+    let next = Vector.clamp ~lo ~hi (Vector.sub !z (Vector.scale step grad)) in
+    let moved = Vector.norm2 (Vector.sub next !z) in
+    z := next;
+    if moved < options.tolerance then continue_ := false;
+    incr iter
+  done;
+  !z

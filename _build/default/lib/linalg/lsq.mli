@@ -1,0 +1,30 @@
+(** Least-squares solvers.
+
+    The polynomial-time reconstruction attack of Theorem 1.1(ii) solves, from
+    noisy subset-count answers [a ≈ A x], the box-constrained least-squares
+    problem [min_{z ∈ [0,1]^n} ‖A z − a‖²] and rounds the solution to
+    {0,1}^n. This module provides a conjugate-gradient solver for the
+    unconstrained normal equations and a projected-gradient solver for the
+    box-constrained problem. *)
+
+type options = {
+  max_iter : int;  (** iteration cap *)
+  tolerance : float;  (** stop when the (projected) gradient norm drops below this *)
+}
+
+val default_options : options
+
+val conjugate_gradient :
+  ?options:options -> (Vector.t -> Vector.t) -> Vector.t -> Vector.t
+(** [conjugate_gradient apply b] solves [M z = b] for symmetric
+    positive-semidefinite [M] given as the operator [apply]. Starts from the
+    zero vector. *)
+
+val solve_box :
+  ?options:options -> Matrix.t -> Vector.t -> lo:float -> hi:float -> Vector.t
+(** [solve_box a b ~lo ~hi] approximately minimizes [‖A z − b‖²] over the box
+    [\[lo, hi\]^n] by projected gradient descent with a Lipschitz step size
+    estimated by power iteration. *)
+
+val residual : Matrix.t -> Vector.t -> Vector.t -> float
+(** [residual a z b] is [‖A z − b‖²]. *)

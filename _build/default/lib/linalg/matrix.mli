@@ -1,0 +1,39 @@
+(** Dense row-major float matrices. *)
+
+type t
+
+val create : rows:int -> cols:int -> float -> t
+
+val of_rows : float array array -> t
+(** Raises [Invalid_argument] if rows have differing lengths or there are no
+    rows. The row arrays are copied. *)
+
+val rows : t -> int
+
+val cols : t -> int
+
+val get : t -> int -> int -> float
+
+val set : t -> int -> int -> float -> unit
+
+val row : t -> int -> Vector.t
+(** Copy of a row. *)
+
+val mul_vec : t -> Vector.t -> Vector.t
+(** [mul_vec a x] is [A x]. Raises [Invalid_argument] on dimension
+    mismatch. *)
+
+val tmul_vec : t -> Vector.t -> Vector.t
+(** [tmul_vec a y] is [Aᵀ y]. *)
+
+val mul : t -> t -> t
+(** Matrix product. *)
+
+val transpose : t -> t
+
+val identity : int -> t
+
+val of_subset_queries : query:int array array -> n:int -> t
+(** [of_subset_queries ~query ~n] builds the 0/1 query matrix whose row [q]
+    has 1 at the indices in [query.(q)] — so that [A x] computes the vector
+    of exact subset-count answers for dataset [x]. *)

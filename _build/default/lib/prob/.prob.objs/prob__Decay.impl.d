@@ -1,0 +1,1 @@
+lib/prob/decay.ml: Array Float Printf Stats

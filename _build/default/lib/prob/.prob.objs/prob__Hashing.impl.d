@@ -1,0 +1,1 @@
+lib/prob/hashing.ml: Char Int64 String

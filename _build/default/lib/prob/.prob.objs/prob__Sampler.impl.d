@@ -1,0 +1,1 @@
+lib/prob/sampler.ml: Float Rng

@@ -1,0 +1,44 @@
+type shape =
+  | Plateau of float
+  | Polynomial_decay of float
+  | Below_resolution
+
+(* Monte-Carlo resolution floor: a measured zero out of T trials only says
+   success < ~3/T; we substitute a small positive stand-in for log-fitting. *)
+let floor_value = 1e-6
+
+let prepare points =
+  Array.map (fun (n, s) -> (n, if s <= 0. then floor_value else s)) points
+
+let fit_exponent points =
+  let points = prepare points in
+  let n = Array.length points in
+  if n < 2 then invalid_arg "Decay.fit_exponent: need at least two points";
+  let xs = Array.map (fun (n, _) -> Float.log (float_of_int n)) points in
+  let ys = Array.map (fun (_, s) -> Float.log s) points in
+  let mx = Stats.mean xs and my = Stats.mean ys in
+  let num = ref 0. and den = ref 0. in
+  for i = 0 to n - 1 do
+    num := !num +. ((xs.(i) -. mx) *. (ys.(i) -. my));
+    den := !den +. ((xs.(i) -. mx) ** 2.)
+  done;
+  if !den = 0. then invalid_arg "Decay.fit_exponent: need two distinct n";
+  -. (!num /. !den)
+
+let classify points =
+  let prepared = prepare points in
+  let all_floor = Array.for_all (fun (_, s) -> s <= floor_value) prepared in
+  if all_floor then Below_resolution
+  else begin
+    let k = fit_exponent points in
+    if k < 0.25 then begin
+      let successes = Array.map snd prepared in
+      Plateau (Stats.mean successes)
+    end
+    else Polynomial_decay k
+  end
+
+let to_string = function
+  | Plateau p -> Printf.sprintf "plateau at %.3f (non-negligible)" p
+  | Polynomial_decay k -> Printf.sprintf "decays ~ n^-%.2f" k
+  | Below_resolution -> "below Monte-Carlo resolution (~0)"

@@ -1,0 +1,28 @@
+let fnv_offset = 0xCBF29CE484222325L
+
+let fnv_prime = 0x100000001B3L
+
+(* SplitMix64 finalizer, used to diffuse the salt through the FNV digest. *)
+let mix z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let hash64 ~salt s =
+  let h = ref (Int64.logxor fnv_offset salt) in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h fnv_prime)
+    s;
+  mix (Int64.add !h salt)
+
+let bucket ~salt ~buckets s =
+  if buckets <= 0 then invalid_arg "Hashing.bucket: buckets must be positive";
+  let h = Int64.shift_right_logical (hash64 ~salt s) 1 in
+  Int64.to_int (Int64.rem h (Int64.of_int buckets))
+
+let bit ~salt ~index s =
+  if index < 0 || index > 63 then invalid_arg "Hashing.bit: index out of range";
+  Int64.logand (Int64.shift_right_logical (hash64 ~salt s) index) 1L = 1L

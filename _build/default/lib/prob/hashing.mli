@@ -1,0 +1,22 @@
+(** Salted hashing into buckets.
+
+    The paper (Section 2.2) invokes the Leftover Hash Lemma to construct,
+    from any distribution with moderate min-entropy, predicates of any
+    prescribed weight — e.g. a weight-[1/n] predicate that isolates with
+    probability ≈ 37% without looking at the mechanism's output. We realise
+    such predicates by hashing a record's serialized form into [m] buckets
+    with a salted 64-bit mixer: over a distribution with enough min-entropy
+    the bucket indicator has weight ≈ [1/m]. *)
+
+val hash64 : salt:int64 -> string -> int64
+(** Salted FNV-1a-then-mixed 64-bit hash of a string. Deterministic across
+    runs. *)
+
+val bucket : salt:int64 -> buckets:int -> string -> int
+(** [bucket ~salt ~buckets s] maps [s] into [\[0, buckets)]. Raises
+    [Invalid_argument] if [buckets <= 0]. *)
+
+val bit : salt:int64 -> index:int -> string -> bool
+(** [bit ~salt ~index s] is the [index]-th bit (0..63) of [hash64 ~salt s];
+    the composition attacker of Theorem 2.8 learns these bits one count
+    query at a time. *)

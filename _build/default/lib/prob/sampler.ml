@@ -1,0 +1,55 @@
+let laplace rng ~scale =
+  if scale <= 0. then invalid_arg "Sampler.laplace: scale must be positive";
+  (* Inverse CDF on a symmetric uniform: u in (-1/2, 1/2). *)
+  let u = Rng.uniform rng -. 0.5 in
+  let u = if u = -0.5 then -0.49999999999999994 else u in
+  -.scale *. Float.of_int (compare u 0.) *. Float.log (1. -. (2. *. Float.abs u))
+
+let gaussian rng ~mean ~std =
+  if std < 0. then invalid_arg "Sampler.gaussian: std must be >= 0";
+  let rec nonzero () =
+    let u = Rng.uniform rng in
+    if u = 0. then nonzero () else u
+  in
+  let u1 = nonzero () in
+  let u2 = Rng.uniform rng in
+  let z = Float.sqrt (-2. *. Float.log u1) *. Float.cos (2. *. Float.pi *. u2) in
+  mean +. (std *. z)
+
+let exponential rng ~rate =
+  if rate <= 0. then invalid_arg "Sampler.exponential: rate must be positive";
+  let rec nonzero () =
+    let u = Rng.uniform rng in
+    if u = 0. then nonzero () else u
+  in
+  -.Float.log (nonzero ()) /. rate
+
+let bernoulli rng ~p =
+  if p < 0. || p > 1. then invalid_arg "Sampler.bernoulli";
+  Rng.uniform rng < p
+
+let geometric rng ~p =
+  if p <= 0. || p > 1. then invalid_arg "Sampler.geometric";
+  if p = 1. then 0
+  else begin
+    let rec nonzero () =
+      let u = Rng.uniform rng in
+      if u = 0. then nonzero () else u
+    in
+    int_of_float (Float.floor (Float.log (nonzero ()) /. Float.log (1. -. p)))
+  end
+
+let two_sided_geometric rng ~alpha =
+  if alpha <= 0. || alpha >= 1. then invalid_arg "Sampler.two_sided_geometric";
+  (* Difference of two i.i.d. geometric variables with success prob 1-alpha
+     is distributed as Pr(k) ∝ alpha^|k|. *)
+  let p = 1. -. alpha in
+  geometric rng ~p - geometric rng ~p
+
+let binomial rng ~n ~p =
+  if n < 0 then invalid_arg "Sampler.binomial";
+  let count = ref 0 in
+  for _ = 1 to n do
+    if bernoulli rng ~p then incr count
+  done;
+  !count

@@ -1,0 +1,28 @@
+(** Samplers for the continuous and unbounded-discrete distributions used by
+    the privacy mechanisms and workload generators. *)
+
+val laplace : Rng.t -> scale:float -> float
+(** A draw from the Laplace distribution [Lap(b)] with density
+    [1/(2b) exp(-|x|/b)] — the noise distribution of the Laplace mechanism
+    (Theorem 1.3). Raises [Invalid_argument] if [scale <= 0]. *)
+
+val gaussian : Rng.t -> mean:float -> std:float -> float
+(** Box–Muller normal draw. Raises [Invalid_argument] if [std < 0]. *)
+
+val exponential : Rng.t -> rate:float -> float
+(** Exponential draw with the given rate. *)
+
+val geometric : Rng.t -> p:float -> int
+(** Number of failures before the first success of a Bernoulli([p]) sequence,
+    in [0, infinity). Raises [Invalid_argument] unless [0 < p <= 1]. *)
+
+val two_sided_geometric : Rng.t -> alpha:float -> int
+(** The discrete analogue of Laplace noise: [Pr(k) ∝ alpha^|k|] for integer
+    [k], with [0 < alpha < 1]. Used by the geometric mechanism on integer
+    counts. *)
+
+val bernoulli : Rng.t -> p:float -> bool
+(** Coin with success probability [p]. *)
+
+val binomial : Rng.t -> n:int -> p:float -> int
+(** Sum of [n] independent Bernoulli([p]) draws. *)

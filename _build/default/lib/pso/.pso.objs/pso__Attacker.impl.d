@@ -1,0 +1,1 @@
+lib/pso/attacker.ml: Array Dataset List Printf Prob Query

@@ -1,0 +1,1 @@
+lib/pso/attacker.mli: Dataset Prob Query

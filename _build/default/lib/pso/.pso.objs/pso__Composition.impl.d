@@ -1,0 +1,1 @@
+lib/pso/composition.ml: Array Attacker Float List Printf Query

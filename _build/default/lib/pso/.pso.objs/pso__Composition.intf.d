@@ -1,0 +1,1 @@
+lib/pso/composition.mli: Attacker Query

@@ -1,0 +1,1 @@
+lib/pso/game.ml: Attacker Dataset Format Prob Query

@@ -1,0 +1,1 @@
+lib/pso/game.mli: Attacker Dataset Format Prob Query

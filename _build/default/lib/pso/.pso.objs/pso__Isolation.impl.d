@@ -1,0 +1,1 @@
+lib/pso/isolation.ml: Dataset Float Query

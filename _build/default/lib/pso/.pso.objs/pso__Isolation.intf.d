@@ -1,0 +1,1 @@
+lib/pso/isolation.mli: Dataset Query

@@ -1,0 +1,1 @@
+lib/pso/kanon_attack.ml: Array Attacker Dataset Fun List Prob Query String

@@ -1,0 +1,1 @@
+lib/pso/kanon_attack.mli: Attacker Dataset Query

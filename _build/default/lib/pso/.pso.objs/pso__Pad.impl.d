@@ -1,0 +1,1 @@
+lib/pso/pad.ml: Array Attacker Dataset Int64 List Prob Query

@@ -1,0 +1,1 @@
+lib/pso/pad.mli: Attacker Query

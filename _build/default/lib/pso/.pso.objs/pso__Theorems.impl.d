@@ -1,0 +1,1 @@
+lib/pso/theorems.ml: Array Attacker Composition Dataset Float Format Game Isolation Kanon Kanon_attack Lazy List Pad Printf Prob Query

@@ -1,0 +1,1 @@
+lib/pso/theorems.mli: Format Prob

@@ -1,0 +1,44 @@
+type t = {
+  name : string;
+  attack : Prob.Rng.t -> Query.Mechanism.output -> Query.Predicate.t;
+}
+
+let attack t rng output = t.attack rng output
+
+let constant name p = { name; attack = (fun _ _ -> p) }
+
+let fixed_value ~attr value =
+  constant
+    (Printf.sprintf "fixed[%s=%s]" attr (Dataset.Value.to_string value))
+    (Query.Predicate.Atom (Query.Predicate.Eq (attr, value)))
+
+let release_row () =
+  {
+    name = "release-row (full tuple)";
+    attack =
+      (fun rng output ->
+        match output with
+        | Query.Mechanism.Release table when Dataset.Table.nrows table > 0 ->
+          let schema = Dataset.Table.schema table in
+          let row =
+            Dataset.Table.row table (Prob.Rng.int rng (Dataset.Table.nrows table))
+          in
+          Query.Predicate.conj
+            (List.mapi
+               (fun j v ->
+                 Query.Predicate.Atom
+                   (Query.Predicate.Eq
+                      ((Dataset.Schema.attribute schema j).Dataset.Schema.name, v)))
+               (Array.to_list row))
+        | _ -> Query.Predicate.False);
+  }
+
+let hash_bucket ~buckets =
+  {
+    name = Printf.sprintf "hash-bucket[1/%d]" buckets;
+    attack =
+      (fun rng _ ->
+        Query.Predicate.Atom
+          (Query.Predicate.Hash_bucket
+             { buckets; bucket = 0; salt = Prob.Rng.bits64 rng }));
+  }

@@ -1,0 +1,33 @@
+(** The count-query composition attack (Theorem 2.8).
+
+    The proof idea, made executable: fix a hash bucket of expected size ~1;
+    ask, for each bit position [j], the count of records that are {e both}
+    in the bucket and have digest bit [j] set. When the bucket holds exactly
+    one record, those counts spell out the record's digest bits; the
+    conjunction "in the bucket ∧ digest bits equal the learned pattern" has
+    weight [2^{-ℓ}/buckets] — negligible once [ℓ = ω(log n)] — and isolates.
+
+    Two variants: {!single_bucket} (success capped at the ≈ 37% chance the
+    bucket holds exactly one record) and {!scouted}, which also asks the
+    sizes of [scouts] buckets and reads bits for each, driving success
+    toward 1 — at the price of more queries, exactly the "too many
+    questions" tradeoff of the Fundamental Law. *)
+
+type t = {
+  queries : Query.Predicate.t array;  (** the fixed count queries *)
+  mechanism : Query.Mechanism.t;  (** exact counts of [queries] (Thm 2.5's M#q, composed) *)
+  attacker : Attacker.t;
+  ell : int;  (** digest bits learned per bucket *)
+}
+
+val single_bucket : salt:int64 -> buckets:int -> ell:int -> t
+(** [1 + ell] count queries against one bucket. Raises [Invalid_argument]
+    unless [0 < ell <= 63] and [buckets > 0]. *)
+
+val scouted : salt:int64 -> buckets:int -> ell:int -> scouts:int -> t
+(** [scouts × (1 + ell)] count queries; the attacker uses the first bucket
+    of size exactly 1. *)
+
+val weight_of_success : buckets:int -> ell:int -> float
+(** The weight of the attacker's successful predicate: [2^{-ell}/buckets];
+    compare against the game's weight bound to predict the crossover. *)

@@ -1,0 +1,49 @@
+type outcome = {
+  trials : int;
+  n : int;
+  weight_bound : float;
+  successes : int;
+  isolations : int;
+  heavy_isolations : int;
+  success_rate : float;
+  success_ci : float * float;
+  mean_weight : float;
+}
+
+let run rng ~model ~n ~mechanism ~attacker ~weight_bound ~trials =
+  if n <= 0 then invalid_arg "Game.run: n";
+  if trials <= 0 then invalid_arg "Game.run: trials";
+  let schema = Dataset.Model.schema model in
+  let successes = ref 0 in
+  let isolations = ref 0 in
+  let heavy = ref 0 in
+  let weight_sum = ref 0. in
+  for _ = 1 to trials do
+    let x = Dataset.Model.sample_table rng model n in
+    let y = Query.Mechanism.run mechanism rng x in
+    let p = Attacker.attack attacker rng y in
+    let w = Query.Predicate.weight_value (Query.Predicate.weight model p) in
+    weight_sum := !weight_sum +. w;
+    if Query.Predicate.isolates schema p x then begin
+      incr isolations;
+      if w <= weight_bound then incr successes else incr heavy
+    end
+  done;
+  {
+    trials;
+    n;
+    weight_bound;
+    successes = !successes;
+    isolations = !isolations;
+    heavy_isolations = !heavy;
+    success_rate = float_of_int !successes /. float_of_int trials;
+    success_ci = Prob.Stats.proportion_ci ~successes:!successes ~trials;
+    mean_weight = !weight_sum /. float_of_int trials;
+  }
+
+let pp fmt o =
+  let lo, hi = o.success_ci in
+  Format.fprintf fmt
+    "n=%d trials=%d bound=%.3g: PSO success %.3f [%.3f, %.3f] (isolations %d, heavy %d, mean weight %.3g)"
+    o.n o.trials o.weight_bound o.success_rate lo hi o.isolations
+    o.heavy_isolations o.mean_weight

@@ -1,0 +1,34 @@
+(** The predicate-singling-out security game (Definitions 2.3 / 2.4).
+
+    One trial: draw [x ~ D^n]; run [y := M(x)]; run [p := A(y)]; the trial
+    is a {e PSO success} when [p] isolates in [x] {e and} [w_D(p)] is below
+    the negligible-weight stand-in. The harness runs many trials and
+    reports success with Wilson confidence intervals, also recording
+    isolations by too-heavy predicates (which Definition 2.4 deliberately
+    does not count — that is the fix to the impossibility of
+    Definition 2.3). *)
+
+type outcome = {
+  trials : int;
+  n : int;
+  weight_bound : float;
+  successes : int;  (** isolated with [w_D(p) <= weight_bound] *)
+  isolations : int;  (** isolated, any weight *)
+  heavy_isolations : int;  (** isolated but too heavy to count *)
+  success_rate : float;
+  success_ci : float * float;  (** 95% Wilson interval *)
+  mean_weight : float;  (** mean predicate weight across trials *)
+}
+
+val run :
+  Prob.Rng.t ->
+  model:Dataset.Model.t ->
+  n:int ->
+  mechanism:Query.Mechanism.t ->
+  attacker:Attacker.t ->
+  weight_bound:float ->
+  trials:int ->
+  outcome
+(** Raises [Invalid_argument] if [n <= 0] or [trials <= 0]. *)
+
+val pp : Format.formatter -> outcome -> unit

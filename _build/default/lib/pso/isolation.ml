@@ -1,0 +1,26 @@
+let isolates model p table =
+  Query.Predicate.isolates (Dataset.Model.schema model) p table
+
+let trivial_isolation_probability ~n ~w =
+  if n <= 0 then invalid_arg "Isolation.trivial_isolation_probability";
+  if w < 0. || w > 1. then invalid_arg "Isolation.trivial_isolation_probability: w";
+  float_of_int n *. w *. Float.pow (1. -. w) (float_of_int (n - 1))
+
+let optimal_trivial_weight ~n =
+  if n <= 0 then invalid_arg "Isolation.optimal_trivial_weight";
+  1. /. float_of_int n
+
+let max_trivial_probability ~n =
+  trivial_isolation_probability ~n ~w:(optimal_trivial_weight ~n)
+
+let one_over_e = Float.exp (-1.)
+
+let heavy_band_probability ~n ~multiplier =
+  if n <= 1 then invalid_arg "Isolation.heavy_band_probability";
+  if multiplier <= 0. then invalid_arg "Isolation.heavy_band_probability: multiplier";
+  let w = Float.min 1. (multiplier *. Float.log (float_of_int n) /. float_of_int n) in
+  trivial_isolation_probability ~n ~w
+
+let negligible_bound ~n ~c =
+  if n <= 0 || c <= 0. then invalid_arg "Isolation.negligible_bound";
+  Float.pow (float_of_int n) (-.c)

@@ -1,0 +1,119 @@
+module Gtable = Dataset.Gtable
+module Gvalue = Dataset.Gvalue
+module Schema = Dataset.Schema
+module Predicate = Query.Predicate
+
+let qi_names gtable =
+  let schema = Gtable.schema gtable in
+  match Schema.with_role schema Schema.Quasi_identifier with
+  | [] -> Schema.names schema
+  | qis -> qis
+
+(* Cells shared by every member of the class (the class-level description);
+   member-specific cells are dropped to Any. *)
+let shared_grow gtable c =
+  let rows = Gtable.rows gtable in
+  Array.mapi
+    (fun j g ->
+      let shared =
+        Array.for_all (fun i -> Gvalue.equal rows.(i).(j) g) c.Gtable.members
+      in
+      if shared then g else Gvalue.Any)
+    c.Gtable.rep
+
+let class_predicate gtable c =
+  Predicate.of_grow (Gtable.schema gtable) (shared_grow gtable c)
+
+let live_classes gtable =
+  Gtable.classes_on gtable (qi_names gtable)
+  |> List.filter (fun c ->
+         not (Array.for_all Gvalue.is_suppressed c.Gtable.rep))
+
+let largest_class classes =
+  List.fold_left
+    (fun acc c ->
+      match acc with
+      | None -> Some c
+      | Some best ->
+        if Array.length c.Gtable.members > Array.length best.Gtable.members then
+          Some c
+        else acc)
+    None classes
+
+let greedy () =
+  {
+    Attacker.name = "kanon-greedy (Thm 2.10)";
+    attack =
+      (fun rng output ->
+        match output with
+        | Query.Mechanism.Generalized gtable -> (
+          match largest_class (live_classes gtable) with
+          | None -> Predicate.False
+          | Some c ->
+            let k' = Array.length c.Gtable.members in
+            let p = class_predicate gtable c in
+            if k' = 1 then p
+            else
+              Predicate.And
+                ( p,
+                  Predicate.Atom
+                    (Predicate.Hash_bucket
+                       { buckets = k'; bucket = 0; salt = Prob.Rng.bits64 rng }) ))
+        | _ -> Predicate.False);
+  }
+
+(* Cohen-style: a member whose released Exact cells distinguish it within
+   its class; conjoin them all, so the predicate both isolates and carries
+   the member's full retained information (negligible weight). *)
+let member_refinement gtable c =
+  let schema = Gtable.schema gtable in
+  let attrs = Schema.attributes schema in
+  let rows = Gtable.rows gtable in
+  let shared = shared_grow gtable c in
+  let exact_cells i =
+    (* The member's released Exact cells on attributes not already shared. *)
+    List.filter_map
+      (fun j ->
+        match (shared.(j), rows.(i).(j)) with
+        | Gvalue.Any, Gvalue.Exact v -> Some (attrs.(j).Schema.name, v)
+        | _, _ -> None)
+      (List.init (Array.length attrs) Fun.id)
+  in
+  let signature i =
+    String.concat "\x00"
+      (List.map (fun (a, v) -> a ^ "=" ^ Dataset.Value.to_string v) (exact_cells i))
+  in
+  let members = Array.to_list c.Gtable.members in
+  let sigs = List.map (fun i -> (i, signature i)) members in
+  let unique =
+    List.filter
+      (fun (_, s) ->
+        s <> "" && List.length (List.filter (fun (_, s') -> s' = s) sigs) = 1)
+      sigs
+  in
+  match unique with
+  | [] -> None
+  | (i, _) :: _ ->
+    let eqs =
+      List.map
+        (fun (a, v) -> Predicate.Atom (Predicate.Eq (a, v)))
+        (exact_cells i)
+    in
+    Some (Predicate.conj (class_predicate gtable c :: eqs))
+
+let cohen () =
+  let fallback = greedy () in
+  {
+    Attacker.name = "kanon-cohen (released-unique scan)";
+    attack =
+      (fun rng output ->
+        match output with
+        | Query.Mechanism.Generalized gtable -> (
+          let found =
+            List.find_map (member_refinement gtable) (live_classes gtable)
+          in
+          match found with
+          | Some p -> p
+          | None -> Attacker.attack fallback rng output)
+        | _ -> Predicate.False);
+  }

@@ -1,0 +1,25 @@
+(** Predicate singling out of k-anonymized releases (Theorem 2.10 and
+    Cohen's strengthening [12]).
+
+    Both attackers consume a [Generalized] release. The {!greedy} attacker
+    is the proof of Theorem 2.10 verbatim: take an equivalence class of size
+    [k'] and form the predicate [p] of the cells its members share (in a
+    class-level release, the full generalized row — "ZIP ∈ 1234*, Age ∈
+    30–39, Disease ∈ PULM"). [p] matches exactly the class members and, for
+    data with enough attributes, has negligible weight; conjoining a
+    weight-[1/k'] hash-bucket predicate [p'] yields [p ∧ p'] of negligible
+    weight isolating with probability ≈ [(1−1/k')^{k'−1} ≈ 1/e ≈ 37%].
+
+    The {!cohen} attacker exploits member-level releases ("typical
+    implementations optimize information content" by retaining non-QI cells
+    exactly): find a class member whose retained cells are unique within its
+    class, and conjoin all of them to the class predicate. The attacker can
+    verify isolation from the release itself, so success approaches 100%. *)
+
+val greedy : unit -> Attacker.t
+
+val cohen : unit -> Attacker.t
+
+val class_predicate : Dataset.Gtable.t -> Dataset.Gtable.eclass -> Query.Predicate.t
+(** The predicate of the cells shared ({!Dataset.Gvalue.equal}) by every
+    member of the class; cells on which members differ are ignored. *)

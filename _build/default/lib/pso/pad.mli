@@ -1,0 +1,29 @@
+(** The explicit incomposability construction (Theorem 2.7).
+
+    Two mechanisms, each individually preventing predicate singling out,
+    whose composition does not:
+
+    - [M1(x) = digest(x_1) XOR pad(x_2..x_n)]
+    - [M2(x) = pad(x_2..x_n)]
+
+    where [digest] is a salted 64-bit hash of a record and [pad] XORs salted
+    hashes of the remaining records. Each output alone is a near-uniform
+    64-bit word carrying no isolating information about any single record;
+    XORing the two outputs reveals [digest(x_1)], and the predicate
+    "[digest(record) = v]" has weight ≈ 2⁻⁶⁴ (negligible) and isolates
+    [x_1] with overwhelming probability. *)
+
+type t = {
+  m1 : Query.Mechanism.t;
+  m2 : Query.Mechanism.t;
+  composed : Query.Mechanism.t;  (** [compose m1 m2] with the same salts *)
+  joint_attacker : Attacker.t;  (** breaks [composed] *)
+  marginal_attacker : Attacker.t;
+      (** the best analogous attempt against a single output: treats the
+          masked word as if it were the digest — demonstrably useless *)
+}
+
+val make : salt:int64 -> t
+
+val digest_predicate : salt:int64 -> int64 -> Query.Predicate.t
+(** The 64-conjunct predicate "record's salted digest equals this word". *)

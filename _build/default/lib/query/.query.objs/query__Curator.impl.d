@@ -1,0 +1,1 @@
+lib/query/curator.ml: Array Auditor Dataset List Predicate Printf Prob

@@ -1,0 +1,1 @@
+lib/query/curator.mli: Dataset Predicate Prob

@@ -1,0 +1,1 @@
+lib/query/erasure.ml: Array Dataset Hashtbl List Predicate

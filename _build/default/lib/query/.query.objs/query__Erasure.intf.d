@@ -1,0 +1,1 @@
+lib/query/erasure.mli: Dataset Predicate

@@ -1,0 +1,1 @@
+lib/query/mechanism.ml: Array Dataset List Option Predicate Printf Prob

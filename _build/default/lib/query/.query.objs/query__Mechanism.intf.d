@@ -1,0 +1,1 @@
+lib/query/mechanism.mli: Dataset Predicate Prob

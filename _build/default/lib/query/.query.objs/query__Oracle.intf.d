@@ -1,0 +1,1 @@
+lib/query/oracle.mli: Prob

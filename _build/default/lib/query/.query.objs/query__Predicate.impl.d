@@ -1,0 +1,1 @@
+lib/query/predicate.ml: Array Buffer Dataset Hashtbl Int64 List Option Printf Prob String

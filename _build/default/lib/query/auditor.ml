@@ -1,0 +1,222 @@
+type mode = Exact | Heuristic
+
+type heuristic_state = {
+  mutable basis : float array list;  (* rows in reduced row-echelon form *)
+  mutable pivots : int list;  (* pivot column of each basis row, same order *)
+  mutable constraints : (int array * int) list;  (* answered (query, answer) *)
+}
+
+type state =
+  | Enumerating of { mutable consistent : int list }  (* bitmask datasets *)
+  | Eliminating of heuristic_state
+
+type t = {
+  data : int array;
+  state : state;
+  mutable answered : int;
+  mutable refused : int;
+}
+
+type answer = Answered of float | Refused
+
+let tolerance = 1e-9
+
+let exact_cap = 20
+
+let create ?mode data =
+  Array.iter
+    (fun v -> if v <> 0 && v <> 1 then invalid_arg "Auditor.create: dataset must be 0/1")
+    data;
+  let n = Array.length data in
+  let mode =
+    match mode with
+    | Some m -> m
+    | None -> if n <= 16 then Exact else Heuristic
+  in
+  let state =
+    match mode with
+    | Exact ->
+      if n > exact_cap then
+        invalid_arg "Auditor.create: Exact mode requires n <= 20";
+      Enumerating { consistent = List.init (1 lsl n) Fun.id }
+    | Heuristic ->
+      Eliminating { basis = []; pivots = []; constraints = [] }
+  in
+  { data; state; answered = 0; refused = 0 }
+
+let mode t =
+  match t.state with Enumerating _ -> Exact | Eliminating _ -> Heuristic
+
+let check_indices t q =
+  let n = Array.length t.data in
+  Array.iter
+    (fun i -> if i < 0 || i >= n then invalid_arg "Auditor: index out of range")
+    q
+
+let exact_answer t q = Array.fold_left (fun acc i -> acc + t.data.(i)) 0 q
+
+(* --- Exact mode: filter the consistent set, check per-bit ambiguity. --- *)
+
+let mask_answer mask q =
+  Array.fold_left (fun acc i -> acc + ((mask lsr i) land 1)) 0 q
+
+let enum_filter consistent q a =
+  List.filter (fun mask -> mask_answer mask q = a) consistent
+
+let enum_discloses n consistent =
+  let rec check i =
+    if i >= n then false
+    else begin
+      let zeros = List.exists (fun m -> (m lsr i) land 1 = 0) consistent in
+      let ones = List.exists (fun m -> (m lsr i) land 1 = 1) consistent in
+      if zeros && ones then check (i + 1) else true
+    end
+  in
+  check 0
+
+(* --- Heuristic mode: RREF + integrality propagation. --- *)
+
+let row_of_query t q =
+  let row = Array.make (Array.length t.data) 0. in
+  Array.iter (fun i -> row.(i) <- 1.) q;
+  row
+
+(* Reduce [row] against the basis (in place), returning its pivot column if
+   it remains nonzero. *)
+let reduce basis pivots row =
+  List.iter2
+    (fun b p ->
+      let factor = row.(p) in
+      if Float.abs factor > tolerance then
+        Array.iteri (fun j v -> row.(j) <- row.(j) -. (factor *. v)) b)
+    basis pivots;
+  let pivot = ref (-1) in
+  (try
+     Array.iteri
+       (fun j v ->
+         if Float.abs v > tolerance then begin
+           pivot := j;
+           raise Exit
+         end)
+       row
+   with Exit -> ());
+  if !pivot < 0 then None
+  else begin
+    let p = !pivot in
+    let scale = row.(p) in
+    Array.iteri (fun j v -> row.(j) <- v /. scale) row;
+    Some p
+  end
+
+(* Insert a reduced row and re-reduce existing rows against it (full RREF). *)
+let insert basis pivots row pivot =
+  let basis =
+    List.map
+      (fun b ->
+        let factor = b.(pivot) in
+        if Float.abs factor > tolerance then
+          Array.mapi (fun j v -> v -. (factor *. row.(j))) b
+        else b)
+      basis
+  in
+  (row :: basis, pivot :: pivots)
+
+let unit_row row =
+  let nonzero = ref 0 in
+  Array.iter (fun v -> if Float.abs v > tolerance then incr nonzero) row;
+  !nonzero = 1
+
+let linear_discloses basis = List.exists unit_row basis
+
+(* A constraint whose residual hits 0 (or the number of its unfixed
+   variables) pins every remaining variable; substitutions cascade. *)
+let propagation_discloses n constraints =
+  let fixed = Array.make n (-1) in
+  let fixed_any = ref false in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (q, a) ->
+        let unfixed = ref 0 and residual = ref a in
+        Array.iter
+          (fun i ->
+            if fixed.(i) < 0 then incr unfixed else residual := !residual - fixed.(i))
+          q;
+        if !unfixed > 0 then
+          if !residual = 0 then begin
+            Array.iter (fun i -> if fixed.(i) < 0 then fixed.(i) <- 0) q;
+            fixed_any := true;
+            changed := true
+          end
+          else if !residual = !unfixed then begin
+            Array.iter (fun i -> if fixed.(i) < 0 then fixed.(i) <- 1) q;
+            fixed_any := true;
+            changed := true
+          end)
+      constraints
+  done;
+  !fixed_any
+
+let heuristic_candidate t (h : heuristic_state) q =
+  let row = row_of_query t q in
+  let constraints' = (q, exact_answer t q) :: h.constraints in
+  let linear_part = reduce h.basis h.pivots row in
+  let basis' =
+    match linear_part with
+    | None -> h.basis
+    | Some pivot -> fst (insert h.basis h.pivots row pivot)
+  in
+  let disclosing =
+    linear_discloses basis'
+    || propagation_discloses (Array.length t.data) constraints'
+  in
+  (disclosing, linear_part, row, constraints')
+
+(* --- Shared front end. --- *)
+
+let would_disclose t q =
+  check_indices t q;
+  match t.state with
+  | Enumerating e ->
+    enum_discloses (Array.length t.data)
+      (enum_filter e.consistent q (exact_answer t q))
+  | Eliminating h ->
+    let disclosing, _, _, _ = heuristic_candidate t h q in
+    disclosing
+
+let ask t q =
+  check_indices t q;
+  match t.state with
+  | Enumerating e ->
+    let filtered = enum_filter e.consistent q (exact_answer t q) in
+    if enum_discloses (Array.length t.data) filtered then begin
+      t.refused <- t.refused + 1;
+      Refused
+    end
+    else begin
+      e.consistent <- filtered;
+      t.answered <- t.answered + 1;
+      Answered (float_of_int (exact_answer t q))
+    end
+  | Eliminating h ->
+    let disclosing, linear_part, row, constraints' = heuristic_candidate t h q in
+    if disclosing then begin
+      t.refused <- t.refused + 1;
+      Refused
+    end
+    else begin
+      (match linear_part with
+      | Some pivot ->
+        let basis, pivots = insert h.basis h.pivots row pivot in
+        h.basis <- basis;
+        h.pivots <- pivots
+      | None -> ());
+      h.constraints <- constraints';
+      t.answered <- t.answered + 1;
+      Answered (float_of_int (exact_answer t q))
+    end
+
+let answered t = t.answered
+
+let refused t = t.refused

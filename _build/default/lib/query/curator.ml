@@ -1,0 +1,113 @@
+module Table = Dataset.Table
+module Value = Dataset.Value
+
+type policy =
+  | Exact
+  | Limited of int
+  | Audited
+  | Noisy of { per_query_epsilon : float; total_epsilon : float }
+
+type reply = Answer of float | Refusal of string
+
+type state =
+  | Plain of { budget : int option }  (* Exact / Limited *)
+  | Auditing of Auditor.t
+  | Accounting of { per_query : float; total : float; mutable spent : float }
+
+type t = {
+  table : Table.t;
+  bits : int array;  (* the target attribute as 0/1 *)
+  rng : Prob.Rng.t;
+  state : state;
+  mutable answered : int;
+  mutable refused : int;
+}
+
+let target_bits table target =
+  let j = Dataset.Schema.index_of (Table.schema table) target in
+  Array.map
+    (fun row ->
+      match row.(j) with
+      | Value.Int 0 | Value.Bool false -> 0
+      | Value.Int 1 | Value.Bool true -> 1
+      | v ->
+        invalid_arg
+          (Printf.sprintf "Curator.create: target %S has non-binary value %s"
+             target (Value.to_string v)))
+    (Table.rows table)
+
+let create ?rng ~policy ~target table =
+  let rng = match rng with Some r -> r | None -> Prob.Rng.create () in
+  let bits = target_bits table target in
+  let state =
+    match policy with
+    | Exact -> Plain { budget = None }
+    | Limited k ->
+      if k <= 0 then invalid_arg "Curator.create: Limited budget";
+      Plain { budget = Some k }
+    | Audited -> Auditing (Auditor.create bits)
+    | Noisy { per_query_epsilon; total_epsilon } ->
+      if per_query_epsilon <= 0. || total_epsilon <= 0. then
+        invalid_arg "Curator.create: Noisy budgets";
+      Accounting
+        { per_query = per_query_epsilon; total = total_epsilon; spent = 0. }
+  in
+  { table; bits; rng; state; answered = 0; refused = 0 }
+
+let exact_sum t subset =
+  Array.fold_left
+    (fun acc i ->
+      if i < 0 || i >= Array.length t.bits then
+        invalid_arg "Curator: index out of range";
+      acc + t.bits.(i))
+    0 subset
+
+let answer t v =
+  t.answered <- t.answered + 1;
+  Answer v
+
+let refuse t reason =
+  t.refused <- t.refused + 1;
+  Refusal reason
+
+let ask_subset t subset =
+  match t.state with
+  | Plain { budget = None } -> answer t (float_of_int (exact_sum t subset))
+  | Plain { budget = Some k } ->
+    if t.answered >= k then refuse t "query limit reached"
+    else answer t (float_of_int (exact_sum t subset))
+  | Auditing auditor -> (
+    match Auditor.ask auditor subset with
+    | Auditor.Answered v -> answer t v
+    | Auditor.Refused -> refuse t "answering would disclose an individual's bit")
+  | Accounting a ->
+    if a.spent +. a.per_query > a.total +. 1e-12 then
+      refuse t "privacy budget exhausted"
+    else begin
+      a.spent <- a.spent +. a.per_query;
+      let noisy =
+        float_of_int (exact_sum t subset)
+        +. Prob.Sampler.laplace t.rng ~scale:(1. /. a.per_query)
+      in
+      answer t noisy
+    end
+
+let ask t p =
+  let schema = Table.schema t.table in
+  let subset = ref [] in
+  Table.iter
+    (fun i row -> if Predicate.eval schema p row then subset := i :: !subset)
+    t.table;
+  ask_subset t (Array.of_list (List.rev !subset))
+
+let answered t = t.answered
+
+let refused t = t.refused
+
+let spent_epsilon t =
+  match t.state with Accounting a -> a.spent | Plain _ | Auditing _ -> 0.
+
+let remaining_epsilon t =
+  match t.state with
+  | Accounting a -> Some (a.total -. a.spent)
+  | Plain _ | Auditing _ -> None

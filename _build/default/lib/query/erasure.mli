@@ -1,0 +1,41 @@
+(** Deletion-compliant query servers (the right to erasure).
+
+    The paper's discussion points to formalizing the right to be forgotten
+    (Garg–Goldwasser–Vasudevan) as a sibling of the singling-out analysis.
+    This module gives the idea an executable core: a stateful count server
+    that accepts erasure requests, in two implementations —
+
+    - {e compliant}: every answer is recomputed from the current record
+      set, so an erased record influences nothing afterwards;
+    - {e retaining}: answers are served from the snapshot taken at ingest
+      (a common real-world failure mode: materialized views, logs, models
+      that are never retrained), so erased records keep leaking.
+
+    Whether a server honoured an erasure is {e checked via isolation}: if
+    the erased record can still be singled out by its own full-tuple
+    predicate, deletion failed. That check is {!verify_erasure}. *)
+
+type implementation =
+  | Recompute  (** compliant: answers derive from current records only *)
+  | Cached  (** retaining: answers derive from the ingest-time snapshot *)
+
+type t
+
+val create : implementation -> Dataset.Table.t -> t
+
+val erase : t -> int -> unit
+(** Request erasure of the row that had the given index at ingest.
+    Idempotent. Raises [Invalid_argument] on out-of-range indices. *)
+
+val count : t -> Predicate.t -> int
+(** Answer a count query under the server's implementation. *)
+
+val live_records : t -> int
+
+val verify_erasure : t -> int -> bool
+(** [verify_erasure t i] asks the server for the count of the erased
+    record's own full-tuple predicate and compares it with the count over
+    the genuinely remaining records: [true] iff they agree — i.e. the
+    erased record no longer influences answers. A [Cached] server fails
+    this check whenever the erased record was unique on its tuple. Raises
+    [Invalid_argument] if record [i] was not erased. *)

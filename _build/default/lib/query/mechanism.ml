@@ -1,0 +1,76 @@
+type output =
+  | Scalar of float
+  | Vector of float array
+  | Release of Dataset.Table.t
+  | Generalized of Dataset.Gtable.t
+  | Words of int64 array
+  | Pair of output * output
+
+type t = { name : string; run : Prob.Rng.t -> Dataset.Table.t -> output }
+
+let run t rng table = t.run rng table
+
+let exact_count q =
+  {
+    name = Printf.sprintf "count[%s]" (Predicate.to_string q);
+    run =
+      (fun _rng table ->
+        Scalar (float_of_int (Predicate.count (Dataset.Table.schema table) q table)));
+  }
+
+let exact_counts qs =
+  {
+    name = Printf.sprintf "counts[%d queries]" (Array.length qs);
+    run =
+      (fun _rng table ->
+        let schema = Dataset.Table.schema table in
+        (* Rows outer, queries inner: hash-atom digests are cached per row,
+           so query batches over the same record pay for one digest. *)
+        let counts = Array.make (Array.length qs) 0. in
+        Array.iter
+          (fun row ->
+            Array.iteri
+              (fun i q ->
+                if Predicate.eval schema q row then counts.(i) <- counts.(i) +. 1.)
+              qs)
+          (Dataset.Table.rows table);
+        Vector counts);
+  }
+
+let laplace_counts ~epsilon qs =
+  if epsilon <= 0. then invalid_arg "Mechanism.laplace_counts: epsilon";
+  let scale = float_of_int (max 1 (Array.length qs)) /. epsilon in
+  let exact = exact_counts qs in
+  {
+    name = Printf.sprintf "laplace-counts[%d queries, eps=%g]" (Array.length qs) epsilon;
+    run =
+      (fun rng table ->
+        match exact.run rng table with
+        | Vector counts ->
+          Vector (Array.map (fun c -> c +. Prob.Sampler.laplace rng ~scale) counts)
+        | other -> other);
+  }
+
+let identity_release =
+  { name = "identity-release"; run = (fun _rng table -> Release table) }
+
+let compose m1 m2 =
+  {
+    name = Printf.sprintf "(%s, %s)" m1.name m2.name;
+    run = (fun rng table -> Pair (m1.run rng table, m2.run rng table));
+  }
+
+let post_process name f m =
+  {
+    name = Printf.sprintf "%s . %s" name m.name;
+    run = (fun rng table -> f (m.run rng table));
+  }
+
+let as_vector output =
+  let rec collect acc = function
+    | Scalar v -> Some (v :: acc)
+    | Vector vs -> Some (List.rev_append (Array.to_list vs) acc)
+    | Pair (a, b) -> Option.bind (collect acc a) (fun acc -> collect acc b)
+    | Release _ | Generalized _ | Words _ -> None
+  in
+  Option.map (fun l -> Array.of_list (List.rev l)) (collect [] output)

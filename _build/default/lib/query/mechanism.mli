@@ -1,0 +1,53 @@
+(** Mechanisms: randomized maps [M : X^n -> Y] (Section 2.2).
+
+    A mechanism consumes a dataset and produces a value in a structured
+    output domain: statistical answers, an anonymized release, raw 64-bit
+    words (for the pad constructions of Theorem 2.7), or tuples of other
+    outputs (composition). Attackers in the PSO game consume exactly this
+    output type, so that "the predicate produced by A acts on the records of
+    the original dataset and not the output y" is enforced by construction. *)
+
+type output =
+  | Scalar of float
+  | Vector of float array
+  | Release of Dataset.Table.t  (** a (possibly transformed) raw-value table *)
+  | Generalized of Dataset.Gtable.t  (** a k-anonymized release *)
+  | Words of int64 array  (** opaque fixed-width outputs *)
+  | Pair of output * output
+
+type t = {
+  name : string;
+  run : Prob.Rng.t -> Dataset.Table.t -> output;
+}
+
+val run : t -> Prob.Rng.t -> Dataset.Table.t -> output
+
+(** {1 Constructors} *)
+
+val exact_count : Predicate.t -> t
+(** Theorem 2.5's [M#q]: the exact number of records satisfying [q]. *)
+
+val exact_counts : Predicate.t array -> t
+(** Tuple of exact counts — the composed mechanism of Theorem 2.8. *)
+
+val laplace_counts : epsilon:float -> Predicate.t array -> t
+(** Counts with i.i.d. Laplace([len/epsilon]) noise: an [epsilon]-DP answer
+    to the whole vector (sensitivity 1 per query, budget split evenly). *)
+
+val identity_release : t
+(** Publishes the dataset as-is (the trivially non-anonymous baseline). *)
+
+val compose : t -> t -> t
+(** [compose m1 m2] runs both on the same dataset with independent
+    randomness and pairs the outputs — the object whose PSO security
+    Theorem 2.7 shows can be strictly worse than its parts'. *)
+
+val post_process : string -> (output -> output) -> t -> t
+(** [post_process name f m] applies a data-independent transformation to
+    [m]'s output — the operation Theorem 2.6 proves cannot create a PSO
+    violation. *)
+
+(** {1 Projections} *)
+
+val as_vector : output -> float array option
+(** [Scalar] and [Vector] outputs as an array; flattens [Pair]s of such. *)

@@ -1,0 +1,62 @@
+exception Query_limit_exceeded
+
+type t = {
+  data : int array;
+  noise : int array -> float -> float;  (* query, true answer -> answer *)
+  mutable asked : int;
+  mutable limit : int option;
+}
+
+let n t = Array.length t.data
+
+let asked t = t.asked
+
+let subset_sum data q =
+  Array.fold_left
+    (fun acc i ->
+      if i < 0 || i >= Array.length data then
+        invalid_arg "Oracle: index out of range";
+      acc + data.(i))
+    0 q
+
+let true_answer t q = float_of_int (subset_sum t.data q)
+
+let ask t q =
+  (match t.limit with
+  | Some l when t.asked >= l -> raise Query_limit_exceeded
+  | Some _ | None -> ());
+  let exact = true_answer t q in
+  t.asked <- t.asked + 1;
+  t.noise q exact
+
+let check_binary data =
+  Array.iter
+    (fun v -> if v <> 0 && v <> 1 then invalid_arg "Oracle: dataset must be 0/1")
+    data
+
+let exact data =
+  check_binary data;
+  { data; noise = (fun _ a -> a); asked = 0; limit = None }
+
+let bounded_noise rng ~magnitude data =
+  if magnitude < 0. then invalid_arg "Oracle.bounded_noise";
+  check_binary data;
+  {
+    data;
+    noise = (fun _ a -> a +. ((Prob.Rng.uniform rng *. 2. -. 1.) *. magnitude));
+    asked = 0;
+    limit = None;
+  }
+
+let laplace rng ~scale data =
+  check_binary data;
+  {
+    data;
+    noise = (fun _ a -> a +. Prob.Sampler.laplace rng ~scale);
+    asked = 0;
+    limit = None;
+  }
+
+let with_limit limit t =
+  if limit < 0 then invalid_arg "Oracle.with_limit";
+  { t with limit = Some (t.asked + limit) }

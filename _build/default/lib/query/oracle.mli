@@ -1,0 +1,40 @@
+(** Interactive subset-count oracles over a binary dataset.
+
+    The reconstruction setting of Theorem 1.1: the dataset is
+    [x ∈ {0,1}^n]; an analyst issues subset queries [q ⊆ [n]] and receives
+    [a_q ≈ Σ_{i∈q} x_i]. The oracle tracks how many queries were asked and
+    can enforce a cap — the two defenses ("introduce sufficiently large
+    error" / "limit the number of queries") the theorem shows are the only
+    options. *)
+
+exception Query_limit_exceeded
+
+type t
+
+val n : t -> int
+
+val asked : t -> int
+(** Number of queries served so far. *)
+
+val ask : t -> int array -> float
+(** Answer one subset query (indices into [0, n)); raises
+    [Query_limit_exceeded] past the cap and [Invalid_argument] on
+    out-of-range indices. *)
+
+val exact : int array -> t
+(** Noise-free answers. Dataset entries must be 0/1. *)
+
+val bounded_noise : Prob.Rng.t -> magnitude:float -> int array -> t
+(** Answers perturbed by independent uniform noise in [[-magnitude,
+    +magnitude]] — "query answers guaranteed to be within error α". *)
+
+val laplace : Prob.Rng.t -> scale:float -> int array -> t
+(** Laplace-mechanism answers with per-query scale (unbounded error tails,
+    bounded expectation). *)
+
+val with_limit : int -> t -> t
+(** Same oracle, refusing to answer more than [limit] further queries. *)
+
+val true_answer : t -> int array -> float
+(** The noiseless answer — for harness-side error measurement only; does not
+    count against the limit. *)

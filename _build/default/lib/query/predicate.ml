@@ -1,0 +1,222 @@
+module Value = Dataset.Value
+module Schema = Dataset.Schema
+module Table = Dataset.Table
+module Gvalue = Dataset.Gvalue
+module Model = Dataset.Model
+
+type atom =
+  | Eq of string * Value.t
+  | Member of string * Value.t list
+  | Range of string * float * float
+  | Fits of string * Gvalue.t
+  | Hash_bucket of { buckets : int; bucket : int; salt : int64 }
+  | Hash_bit of { index : int; salt : int64 }
+
+type t =
+  | True
+  | False
+  | Atom of atom
+  | Not of t
+  | And of t * t
+  | Or of t * t
+
+let conj = function
+  | [] -> True
+  | p :: rest -> List.fold_left (fun acc q -> And (acc, q)) p rest
+
+let disj = function
+  | [] -> False
+  | p :: rest -> List.fold_left (fun acc q -> Or (acc, q)) p rest
+
+let of_grow schema grow =
+  let attrs = Schema.attributes schema in
+  let cells =
+    Array.to_list
+      (Array.mapi
+         (fun j g ->
+           match g with
+           | Gvalue.Any -> True
+           | _ -> Atom (Fits (attrs.(j).Schema.name, g)))
+         grow)
+  in
+  conj (List.filter (fun p -> p <> True) cells)
+
+let encode_row row =
+  let buf = Buffer.create 64 in
+  Array.iter
+    (fun v ->
+      let s = Value.to_string v in
+      let tag =
+        match Value.kind_of v with
+        | None -> "n"
+        | Some k -> String.sub (Value.kind_name k) 0 1
+      in
+      Buffer.add_string buf (Printf.sprintf "%s%d:%s;" tag (String.length s) s))
+    row;
+  Buffer.contents buf
+
+let value_test = function
+  | Eq (_, x) -> fun v -> Value.equal v x
+  | Member (_, xs) -> fun v -> List.exists (fun x -> Value.equal x v) xs
+  | Range (_, lo, hi) -> (
+    fun v ->
+      match Value.to_float v with Some f -> lo <= f && f < hi | None -> false)
+  | Fits (_, g) -> Gvalue.matches g
+  | Hash_bucket _ | Hash_bit _ -> assert false
+
+let atom_attr = function
+  | Eq (a, _) | Member (a, _) | Range (a, _, _) | Fits (a, _) -> Some a
+  | Hash_bucket _ | Hash_bit _ -> None
+
+(* Hash atoms over one record share a digest; predicates like the pad
+   construction's conjoin 64 bit-atoms with one salt, so recomputing the
+   serialization and hash per atom would dominate. A single-slot cache keyed
+   by the row's physical identity and the salt removes the rework (the
+   common evaluation loops revisit the same row for many atoms/queries). *)
+let digest_cache : (Table.row * int64 * int64) option ref = ref None
+
+let row_digest row salt =
+  match !digest_cache with
+  | Some (r, s, d) when r == row && s = salt -> d
+  | _ ->
+    let d = Prob.Hashing.hash64 ~salt (encode_row row) in
+    digest_cache := Some (row, salt, d);
+    d
+
+let eval_atom schema atom row =
+  match atom with
+  | Hash_bucket { buckets; bucket; salt } ->
+    let d = Int64.shift_right_logical (row_digest row salt) 1 in
+    Int64.to_int (Int64.rem d (Int64.of_int buckets)) = bucket
+  | Hash_bit { index; salt } ->
+    Int64.logand (Int64.shift_right_logical (row_digest row salt) index) 1L = 1L
+  | Eq (a, _) | Member (a, _) | Range (a, _, _) | Fits (a, _) ->
+    let i = Schema.index_of schema a in
+    value_test atom row.(i)
+
+let rec eval schema t row =
+  match t with
+  | True -> true
+  | False -> false
+  | Atom a -> eval_atom schema a row
+  | Not p -> not (eval schema p row)
+  | And (p, q) -> eval schema p row && eval schema q row
+  | Or (p, q) -> eval schema p row || eval schema q row
+
+let count schema t table =
+  Table.count (fun row -> eval schema t row) table
+
+let isolates schema t table = count schema t table = 1
+
+(* --- Weight --- *)
+
+type weight =
+  | Exact of float
+  | Salted of float
+  | Estimated of { value : float; trials : int }
+
+let weight_value = function
+  | Exact w | Salted w -> w
+  | Estimated { value; _ } -> value
+
+(* A conjunction decomposes into per-attribute constraints, hash factors and
+   constants. *)
+type conjunct =
+  | Cattr of string * (Value.t -> bool)
+  | Chash of float
+  | Cconst of bool
+
+let conjunct_of_atom ~negated atom =
+  match atom with
+  | Hash_bucket { buckets; _ } ->
+    let p = 1. /. float_of_int buckets in
+    Chash (if negated then 1. -. p else p)
+  | Hash_bit _ -> Chash 0.5
+  | Eq _ | Member _ | Range _ | Fits _ ->
+    let test = value_test atom in
+    let test = if negated then fun v -> not (test v) else test in
+    (match atom_attr atom with
+    | Some a -> Cattr (a, test)
+    | None -> assert false)
+
+(* Flatten a pure conjunction; [None] if the formula is not a conjunction of
+   (possibly negated) atoms. *)
+let rec conjuncts t =
+  match t with
+  | True -> Some [ Cconst true ]
+  | False -> Some [ Cconst false ]
+  | Atom a -> Some [ conjunct_of_atom ~negated:false a ]
+  | Not (Atom a) -> Some [ conjunct_of_atom ~negated:true a ]
+  | Not True -> Some [ Cconst false ]
+  | Not False -> Some [ Cconst true ]
+  | And (p, q) -> (
+    match (conjuncts p, conjuncts q) with
+    | Some cp, Some cq -> Some (cp @ cq)
+    | _, _ -> None)
+  | Not _ | Or _ -> None
+
+let analytic_weight model cs =
+  if List.exists (function Cconst false -> true | _ -> false) cs then
+    Some (Exact 0.)
+  else begin
+    (* Group attribute constraints; each attribute contributes the marginal
+       probability of satisfying all of its tests (exact under the product
+       model). *)
+    let by_attr : (string, (Value.t -> bool) list) Hashtbl.t = Hashtbl.create 8 in
+    let hash_factor = ref 1. in
+    let salted = ref false in
+    List.iter
+      (function
+        | Cconst _ -> ()
+        | Chash p ->
+          salted := true;
+          hash_factor := !hash_factor *. p
+        | Cattr (a, test) ->
+          let prev = Option.value ~default:[] (Hashtbl.find_opt by_attr a) in
+          Hashtbl.replace by_attr a (test :: prev))
+      cs;
+    let w = ref !hash_factor in
+    let ok = ref true in
+    Hashtbl.iter
+      (fun a tests ->
+        match Model.cell_prob model a (fun v -> List.for_all (fun t -> t v) tests) with
+        | p -> w := !w *. p
+        | exception Not_found -> ok := false)
+      by_attr;
+    if not !ok then None
+    else if !salted then Some (Salted !w)
+    else Some (Exact !w)
+  end
+
+let default_trials = 20_000
+
+let weight ?rng ?(trials = default_trials) model t =
+  let analytic = Option.bind (conjuncts t) (analytic_weight model) in
+  match analytic with
+  | Some w -> w
+  | None ->
+    let rng =
+      match rng with Some r -> r | None -> Prob.Rng.create ~seed:0x5EEDL ()
+    in
+    let schema = Model.schema model in
+    let hits = ref 0 in
+    for _ = 1 to trials do
+      if eval schema t (Model.sample_row rng model) then incr hits
+    done;
+    Estimated { value = float_of_int !hits /. float_of_int trials; trials }
+
+let rec to_string = function
+  | True -> "true"
+  | False -> "false"
+  | Atom (Eq (a, v)) -> Printf.sprintf "%s = %s" a (Value.to_string v)
+  | Atom (Member (a, vs)) ->
+    Printf.sprintf "%s in {%s}" a
+      (String.concat ", " (List.map Value.to_string vs))
+  | Atom (Range (a, lo, hi)) -> Printf.sprintf "%s in [%g, %g)" a lo hi
+  | Atom (Fits (a, g)) -> Printf.sprintf "%s ~ %s" a (Gvalue.to_string g)
+  | Atom (Hash_bucket { buckets; bucket; _ }) ->
+    Printf.sprintf "hash(record) mod %d = %d" buckets bucket
+  | Atom (Hash_bit { index; _ }) -> Printf.sprintf "bit_%d(hash(record))" index
+  | Not p -> Printf.sprintf "not (%s)" (to_string p)
+  | And (p, q) -> Printf.sprintf "(%s && %s)" (to_string p) (to_string q)
+  | Or (p, q) -> Printf.sprintf "(%s || %s)" (to_string p) (to_string q)

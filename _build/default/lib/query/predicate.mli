@@ -1,0 +1,75 @@
+(** Predicates over records.
+
+    This is the paper's object of study: the attacker's output is a
+    predicate [p : X -> {0,1}] (Section 2.1, interpreting "a collection of
+    attributes" as a truth-valued function on records). Predicates are
+    represented as a small AST so that their weight under a product data
+    model can be computed analytically — a Monte-Carlo estimate can never
+    certify that a weight is negligible. *)
+
+type atom =
+  | Eq of string * Dataset.Value.t  (** attribute equals a value *)
+  | Member of string * Dataset.Value.t list  (** attribute in a finite set *)
+  | Range of string * float * float
+      (** numeric view of the attribute in [lo, hi) (dates via ordinal) *)
+  | Fits of string * Dataset.Gvalue.t
+      (** attribute falls under a generalized value — the bridge from
+          k-anonymized releases to predicates *)
+  | Hash_bucket of { buckets : int; bucket : int; salt : int64 }
+      (** the whole record hashes into a given bucket: the
+          Leftover-Hash-Lemma-style predicate of prescribed weight
+          [1/buckets] used throughout Section 2 *)
+  | Hash_bit of { index : int; salt : int64 }
+      (** one bit of the record's 64-bit digest — the unit of information
+          the Theorem 2.8 attacker extracts per count query *)
+
+type t =
+  | True
+  | False
+  | Atom of atom
+  | Not of t
+  | And of t * t
+  | Or of t * t
+
+val conj : t list -> t
+(** Conjunction of a list ([True] for the empty list). *)
+
+val disj : t list -> t
+
+val of_grow : Dataset.Schema.t -> Dataset.Gtable.grow -> t
+(** The predicate "this record falls under every cell of this generalized
+    row" — the equivalence-class predicate of Theorem 2.10's proof. *)
+
+val encode_row : Dataset.Table.row -> string
+(** Canonical serialization of a record, the input to the hash atoms.
+    Injective on rows of a fixed schema. *)
+
+val eval : Dataset.Schema.t -> t -> Dataset.Table.row -> bool
+(** Raises [Not_found] if an atom names an attribute absent from the
+    schema. *)
+
+val count : Dataset.Schema.t -> t -> Dataset.Table.t -> int
+(** [Σᵢ p(xᵢ)] — the count-query answer for this predicate. *)
+
+val isolates : Dataset.Schema.t -> t -> Dataset.Table.t -> bool
+(** Definition 2.1: [p] isolates in [x] iff it holds for exactly one
+    record. *)
+
+(** {1 Weight} *)
+
+type weight =
+  | Exact of float  (** computed analytically from the model's marginals *)
+  | Salted of float
+      (** exact in expectation over the hash salt (hash atoms present);
+          concentrates tightly for the salts used in practice *)
+  | Estimated of { value : float; trials : int }  (** Monte-Carlo fallback *)
+
+val weight_value : weight -> float
+
+val weight : ?rng:Prob.Rng.t -> ?trials:int -> Dataset.Model.t -> t -> weight
+(** [weight model p] is [w_D(p)] (Section 2.2). Conjunctions of
+    per-attribute atoms (optionally with hash atoms) are computed
+    analytically; other shapes fall back to Monte-Carlo with [trials]
+    samples (default 20_000) using [rng] (default a fixed seed). *)
+
+val to_string : t -> string

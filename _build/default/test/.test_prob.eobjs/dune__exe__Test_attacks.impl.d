@@ -1,0 +1,1 @@
+test/test_attacks.ml: Alcotest Array Attacks Dataset Gen Int64 Kanon List Prob QCheck QCheck_alcotest Query Test

@@ -1,0 +1,1 @@
+test/test_dataset.ml: Alcotest Array Dataset Fun Gen Kanon List Printf Prob QCheck QCheck_alcotest String Test

@@ -1,0 +1,1 @@
+test/test_dp.ml: Alcotest Array Dataset Dp Float Gen Hashtbl List Printf Prob QCheck QCheck_alcotest Query Test

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Experiments Float Hashtbl Int Legal List Option Printf Prob Pso

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Attacks Buffer Core Dataset Experiments Format Kanon Legal List Printf Prob Pso Query String

@@ -1,0 +1,1 @@
+test/test_kanon.ml: Alcotest Array Dataset Float Int64 Kanon List Printf Prob QCheck QCheck_alcotest Query Test

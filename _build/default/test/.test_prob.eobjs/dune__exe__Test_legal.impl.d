@@ -1,0 +1,1 @@
+test/test_legal.ml: Alcotest Array Attacks Dataset Format Legal List Printf Prob Pso Query String

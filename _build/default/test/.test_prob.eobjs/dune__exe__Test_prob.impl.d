@@ -1,0 +1,1 @@
+test/test_prob.ml: Alcotest Array Float Fun Gen List Prob QCheck QCheck_alcotest Test

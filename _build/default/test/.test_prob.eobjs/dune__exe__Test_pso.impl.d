@@ -1,0 +1,1 @@
+test/test_pso.ml: Alcotest Array Dataset Dp Float Int64 Kanon List Printf Prob Pso QCheck QCheck_alcotest Query Test

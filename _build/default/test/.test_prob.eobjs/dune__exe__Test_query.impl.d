@@ -1,0 +1,1 @@
+test/test_query.ml: Alcotest Array Attacks Dataset Float Fun Gen Linalg List Printf Prob QCheck QCheck_alcotest Query Test

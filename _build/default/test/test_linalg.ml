@@ -1,0 +1,285 @@
+(* Tests for the linear-algebra substrate: vector/matrix algebra, conjugate
+   gradient, box-constrained least squares, and the simplex LP solver. *)
+
+let check_float = Alcotest.(check (float 1e-6))
+
+let rng () = Prob.Rng.create ~seed:99L ()
+
+(* --- Vector --- *)
+
+let test_vector_dot () =
+  check_float "dot" 32. (Linalg.Vector.dot [| 1.; 2.; 3. |] [| 4.; 5.; 6. |])
+
+let test_vector_dot_mismatch () =
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Vector.dot: dimension mismatch") (fun () ->
+      ignore (Linalg.Vector.dot [| 1. |] [| 1.; 2. |]))
+
+let test_vector_norms () =
+  check_float "norm2" 5. (Linalg.Vector.norm2 [| 3.; 4. |]);
+  check_float "norm_inf" 4. (Linalg.Vector.norm_inf [| 3.; -4. |])
+
+let test_vector_arith () =
+  Alcotest.(check (array (float 1e-9))) "add" [| 5.; 7. |]
+    (Linalg.Vector.add [| 1.; 2. |] [| 4.; 5. |]);
+  Alcotest.(check (array (float 1e-9))) "sub" [| -3.; -3. |]
+    (Linalg.Vector.sub [| 1.; 2. |] [| 4.; 5. |]);
+  Alcotest.(check (array (float 1e-9))) "scale" [| 2.; 4. |]
+    (Linalg.Vector.scale 2. [| 1.; 2. |])
+
+let test_vector_axpy () =
+  let y = [| 1.; 1. |] in
+  Linalg.Vector.axpy 2. [| 3.; 4. |] y;
+  Alcotest.(check (array (float 1e-9))) "axpy" [| 7.; 9. |] y
+
+let test_vector_clamp_round () =
+  Alcotest.(check (array (float 1e-9))) "clamp" [| 0.; 0.5; 1. |]
+    (Linalg.Vector.clamp ~lo:0. ~hi:1. [| -2.; 0.5; 7. |]);
+  Alcotest.(check (array (float 1e-9))) "round01" [| 0.; 1.; 1. |]
+    (Linalg.Vector.round01 [| 0.49; 0.5; 0.9 |])
+
+let test_vector_hamming () =
+  Alcotest.(check int) "hamming" 2
+    (Linalg.Vector.hamming [| 0.; 1.; 0. |] [| 1.; 1.; 1. |])
+
+(* --- Matrix --- *)
+
+let test_matrix_mul_vec () =
+  let m = Linalg.Matrix.of_rows [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  Alcotest.(check (array (float 1e-9))) "Ax" [| 5.; 11. |]
+    (Linalg.Matrix.mul_vec m [| 1.; 2. |]);
+  Alcotest.(check (array (float 1e-9))) "A'y" [| 7.; 10. |]
+    (Linalg.Matrix.tmul_vec m [| 1.; 2. |])
+
+let test_matrix_mul () =
+  let a = Linalg.Matrix.of_rows [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  let i = Linalg.Matrix.identity 2 in
+  let prod = Linalg.Matrix.mul a i in
+  Alcotest.(check (float 1e-9)) "identity mult" 3. (Linalg.Matrix.get prod 1 0)
+
+let test_matrix_transpose () =
+  let a = Linalg.Matrix.of_rows [| [| 1.; 2.; 3. |] |] in
+  let t = Linalg.Matrix.transpose a in
+  Alcotest.(check int) "rows" 3 (Linalg.Matrix.rows t);
+  Alcotest.(check (float 1e-9)) "entry" 2. (Linalg.Matrix.get t 1 0)
+
+let test_matrix_ragged_rejected () =
+  Alcotest.check_raises "ragged" (Invalid_argument "Matrix.of_rows: ragged rows")
+    (fun () -> ignore (Linalg.Matrix.of_rows [| [| 1. |]; [| 1.; 2. |] |]))
+
+let test_matrix_of_subset_queries () =
+  let m = Linalg.Matrix.of_subset_queries ~query:[| [| 0; 2 |]; [| 1 |] |] ~n:3 in
+  Alcotest.(check (array (float 1e-9))) "row 0" [| 1.; 0.; 1. |] (Linalg.Matrix.row m 0);
+  Alcotest.(check (array (float 1e-9))) "row 1" [| 0.; 1.; 0. |] (Linalg.Matrix.row m 1)
+
+(* --- CG / LSQ --- *)
+
+let test_cg_solves_spd () =
+  (* M = [[4,1],[1,3]], b = [1,2] -> x = [1/11, 7/11] *)
+  let m = Linalg.Matrix.of_rows [| [| 4.; 1. |]; [| 1.; 3. |] |] in
+  let x = Linalg.Lsq.conjugate_gradient (Linalg.Matrix.mul_vec m) [| 1.; 2. |] in
+  Alcotest.(check (float 1e-6)) "x0" (1. /. 11.) x.(0);
+  Alcotest.(check (float 1e-6)) "x1" (7. /. 11.) x.(1)
+
+let test_solve_box_recovers_planted () =
+  let r = rng () in
+  let n = 20 in
+  let truth = Array.init n (fun _ -> if Prob.Rng.bool r then 1. else 0.) in
+  let queries =
+    Array.init 100 (fun _ ->
+        Array.init n (fun _ -> if Prob.Rng.bool r then 1. else 0.))
+  in
+  let a = Linalg.Matrix.of_rows queries in
+  let b = Linalg.Matrix.mul_vec a truth in
+  let z = Linalg.Lsq.solve_box a b ~lo:0. ~hi:1. in
+  let rounded = Linalg.Vector.round01 z in
+  Alcotest.(check int) "exact recovery" 0 (Linalg.Vector.hamming rounded truth)
+
+let test_solve_box_respects_bounds () =
+  let a = Linalg.Matrix.of_rows [| [| 1. |] |] in
+  let z = Linalg.Lsq.solve_box a [| 100. |] ~lo:0. ~hi:1. in
+  Alcotest.(check (float 1e-9)) "clamped at hi" 1. z.(0)
+
+let test_residual () =
+  let a = Linalg.Matrix.of_rows [| [| 1.; 0. |] |] in
+  check_float "residual" 4. (Linalg.Lsq.residual a [| 1.; 0. |] [| 3. |])
+
+(* --- Simplex --- *)
+
+let solve_expect_optimal problem =
+  match Linalg.Simplex.solve problem with
+  | Linalg.Simplex.Optimal { x; objective } -> (x, objective)
+  | Linalg.Simplex.Infeasible -> Alcotest.fail "unexpected infeasible"
+  | Linalg.Simplex.Unbounded -> Alcotest.fail "unexpected unbounded"
+
+let test_simplex_basic_max () =
+  (* max 3x + 5y st x <= 4, 2y <= 12, 3x + 2y <= 18 -> optimum 36 at (2,6). *)
+  let problem =
+    {
+      Linalg.Simplex.objective = [| 3.; 5. |];
+      constraints =
+        [
+          ([| 1.; 0. |], Linalg.Simplex.Le, 4.);
+          ([| 0.; 2. |], Linalg.Simplex.Le, 12.);
+          ([| 3.; 2. |], Linalg.Simplex.Le, 18.);
+        ];
+    }
+  in
+  match Linalg.Simplex.maximize problem with
+  | Linalg.Simplex.Optimal { x; objective } ->
+    Alcotest.(check (float 1e-6)) "objective" 36. objective;
+    Alcotest.(check (float 1e-6)) "x" 2. x.(0);
+    Alcotest.(check (float 1e-6)) "y" 6. x.(1)
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_simplex_minimize_with_ge () =
+  (* min x + y st x + 2y >= 4, 3x + y >= 6 -> optimum at intersection
+     (8/5, 6/5), value 14/5. *)
+  let _, objective =
+    solve_expect_optimal
+      {
+        Linalg.Simplex.objective = [| 1.; 1. |];
+        constraints =
+          [
+            ([| 1.; 2. |], Linalg.Simplex.Ge, 4.);
+            ([| 3.; 1. |], Linalg.Simplex.Ge, 6.);
+          ];
+      }
+  in
+  Alcotest.(check (float 1e-6)) "objective" 2.8 objective
+
+let test_simplex_equality () =
+  (* min x + 2y st x + y = 3, x <= 1 -> x=1, y=2, value 5. *)
+  let _, objective =
+    solve_expect_optimal
+      {
+        Linalg.Simplex.objective = [| 1.; 2. |];
+        constraints =
+          [
+            ([| 1.; 1. |], Linalg.Simplex.Eq, 3.);
+            ([| 1.; 0. |], Linalg.Simplex.Le, 1.);
+          ];
+      }
+  in
+  Alcotest.(check (float 1e-6)) "objective" 5. objective
+
+let test_simplex_infeasible () =
+  match
+    Linalg.Simplex.solve
+      {
+        Linalg.Simplex.objective = [| 1. |];
+        constraints =
+          [
+            ([| 1. |], Linalg.Simplex.Ge, 2.);
+            ([| 1. |], Linalg.Simplex.Le, 1.);
+          ];
+      }
+  with
+  | Linalg.Simplex.Infeasible -> ()
+  | _ -> Alcotest.fail "expected infeasible"
+
+let test_simplex_unbounded () =
+  match
+    Linalg.Simplex.solve
+      {
+        Linalg.Simplex.objective = [| -1. |];
+        constraints = [ ([| 1. |], Linalg.Simplex.Ge, 1.) ];
+      }
+  with
+  | Linalg.Simplex.Unbounded -> ()
+  | _ -> Alcotest.fail "expected unbounded"
+
+let test_simplex_negative_rhs () =
+  (* min x st x >= -1 rewritten internally; optimum x = 0 (x >= 0 implied). *)
+  let _, objective =
+    solve_expect_optimal
+      {
+        Linalg.Simplex.objective = [| 1. |];
+        constraints = [ ([| -1. |], Linalg.Simplex.Le, 1.) ];
+      }
+  in
+  Alcotest.(check (float 1e-6)) "objective" 0. objective
+
+let test_simplex_arity_mismatch () =
+  Alcotest.check_raises "arity"
+    (Invalid_argument "Simplex.solve: constraint arity mismatch") (fun () ->
+      ignore
+        (Linalg.Simplex.solve
+           {
+             Linalg.Simplex.objective = [| 1.; 2. |];
+             constraints = [ ([| 1. |], Linalg.Simplex.Le, 1.) ];
+           }))
+
+(* --- QCheck properties --- *)
+
+let qcheck =
+  let open QCheck in
+  let vec = array_of_size (Gen.int_range 1 8) (float_range (-10.) 10.) in
+  [
+    Test.make ~name:"Cauchy-Schwarz |<x,y>| <= |x||y|" ~count:300 (pair vec vec)
+      (fun (x, y) ->
+        assume (Array.length x = Array.length y);
+        Float.abs (Linalg.Vector.dot x y)
+        <= (Linalg.Vector.norm2 x *. Linalg.Vector.norm2 y) +. 1e-6);
+    Test.make ~name:"clamp stays in box" ~count:300 vec (fun x ->
+        Array.for_all
+          (fun v -> 0. <= v && v <= 1.)
+          (Linalg.Vector.clamp ~lo:0. ~hi:1. x));
+    Test.make ~name:"transpose involutive" ~count:100
+      (array_of_size (Gen.int_range 1 5)
+         (array_of_size (Gen.return 4) (float_range (-5.) 5.)))
+      (fun rows ->
+        let m = Linalg.Matrix.of_rows rows in
+        let tt = Linalg.Matrix.transpose (Linalg.Matrix.transpose m) in
+        let ok = ref true in
+        for i = 0 to Linalg.Matrix.rows m - 1 do
+          for j = 0 to Linalg.Matrix.cols m - 1 do
+            if Linalg.Matrix.get m i j <> Linalg.Matrix.get tt i j then ok := false
+          done
+        done;
+        !ok);
+  ]
+  |> List.map QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "linalg"
+    [
+      ( "vector",
+        [
+          Alcotest.test_case "dot" `Quick test_vector_dot;
+          Alcotest.test_case "dot mismatch" `Quick test_vector_dot_mismatch;
+          Alcotest.test_case "norms" `Quick test_vector_norms;
+          Alcotest.test_case "arith" `Quick test_vector_arith;
+          Alcotest.test_case "axpy" `Quick test_vector_axpy;
+          Alcotest.test_case "clamp/round" `Quick test_vector_clamp_round;
+          Alcotest.test_case "hamming" `Quick test_vector_hamming;
+        ] );
+      ( "matrix",
+        [
+          Alcotest.test_case "mul_vec" `Quick test_matrix_mul_vec;
+          Alcotest.test_case "mul" `Quick test_matrix_mul;
+          Alcotest.test_case "transpose" `Quick test_matrix_transpose;
+          Alcotest.test_case "ragged rejected" `Quick test_matrix_ragged_rejected;
+          Alcotest.test_case "of_subset_queries" `Quick test_matrix_of_subset_queries;
+        ] );
+      ( "lsq",
+        [
+          Alcotest.test_case "cg solves SPD" `Quick test_cg_solves_spd;
+          Alcotest.test_case "box lsq recovers planted" `Quick
+            test_solve_box_recovers_planted;
+          Alcotest.test_case "box lsq respects bounds" `Quick
+            test_solve_box_respects_bounds;
+          Alcotest.test_case "residual" `Quick test_residual;
+        ] );
+      ( "simplex",
+        [
+          Alcotest.test_case "basic max" `Quick test_simplex_basic_max;
+          Alcotest.test_case "minimize with >=" `Quick test_simplex_minimize_with_ge;
+          Alcotest.test_case "equality" `Quick test_simplex_equality;
+          Alcotest.test_case "infeasible" `Quick test_simplex_infeasible;
+          Alcotest.test_case "unbounded" `Quick test_simplex_unbounded;
+          Alcotest.test_case "negative rhs" `Quick test_simplex_negative_rhs;
+          Alcotest.test_case "arity mismatch" `Quick test_simplex_arity_mismatch;
+        ] );
+      ("properties", qcheck);
+    ]
