@@ -7,34 +7,109 @@
    `dune exec bench/main.exe` runs both at Quick scale;
    `dune exec bench/main.exe -- --full` uses the EXPERIMENTS.md parameters;
    `dune exec bench/main.exe -- --only E7` restricts to one experiment;
+   `--jobs K` sets the Monte Carlo worker count (default: cores - 1);
+   `--speedup` times every experiment at jobs=1 vs jobs=K and checks the
+   two tables are byte-identical;
+   `--json FILE` writes the kernel timings as JSON;
    `--no-perf` / `--no-tables` skip a part. *)
 
 open Bechamel
 open Toolkit
+
+let selected only (e : Experiments.Registry.entry) =
+  match only with
+  | Some id ->
+    String.lowercase_ascii id = String.lowercase_ascii e.Experiments.Registry.id
+  | None -> true
 
 let experiment_tables ~scale ~only () =
   let rng = Prob.Rng.create ~seed:20210621L () in
   let fmt = Format.std_formatter in
   List.iter
     (fun (e : Experiments.Registry.entry) ->
-      match only with
-      | Some id when String.lowercase_ascii id <> String.lowercase_ascii e.Experiments.Registry.id -> ()
-      | _ ->
+      if selected only e then begin
         let t0 = Unix.gettimeofday () in
         e.Experiments.Registry.print ~scale rng fmt;
         Format.fprintf fmt "[%s finished in %.1fs]@."
           e.Experiments.Registry.id
-          (Unix.gettimeofday () -. t0))
+          (Unix.gettimeofday () -. t0)
+      end)
     Experiments.Registry.all
 
-let perf_benchmarks ~only () =
+(* One experiment rendered to a string at a given pool size, from a fresh
+   generator: the unit of the sequential-vs-parallel comparison. *)
+let render (e : Experiments.Registry.entry) ~scale ~jobs =
+  Parallel.Pool.set_default_jobs jobs;
+  let rng = Prob.Rng.create ~seed:20210621L () in
+  let buf = Buffer.create 4096 in
+  let fmt = Format.formatter_of_buffer buf in
+  let t0 = Unix.gettimeofday () in
+  e.Experiments.Registry.print ~scale rng fmt;
+  Format.pp_print_flush fmt ();
+  (Buffer.contents buf, Unix.gettimeofday () -. t0)
+
+let speedup_tables ~scale ~only ~jobs () =
+  let any_differ = ref false in
+  List.iter
+    (fun (e : Experiments.Registry.entry) ->
+      if selected only e then begin
+        let sequential, t_seq = render e ~scale ~jobs:1 in
+        let parallel_, t_par = render e ~scale ~jobs in
+        print_string parallel_;
+        let identical = String.equal sequential parallel_ in
+        if not identical then any_differ := true;
+        Format.printf "[%s jobs=1: %.2fs, jobs=%d: %.2fs, speedup %.1fx, tables %s]@."
+          e.Experiments.Registry.id t_seq jobs t_par
+          (t_seq /. Float.max t_par 1e-9)
+          (if identical then "identical" else "DIFFER")
+      end)
+    Experiments.Registry.all;
+  if !any_differ then begin
+    Format.printf "determinism violation: some tables differ between jobs=1 and jobs=%d@." jobs;
+    exit 1
+  end
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_float f =
+  (* JSON has no NaN/infinity; degrade to null. *)
+  if Float.is_finite f then Printf.sprintf "%.6g" f else "null"
+
+let write_json path ~jobs rows =
+  let oc =
+    try open_out path
+    with Sys_error msg ->
+      Format.eprintf "bench: cannot write --json file: %s@." msg;
+      exit 2
+  in
+  Printf.fprintf oc "{\n  \"schema\": \"bench-kernels/v1\",\n  \"jobs\": %d,\n  \"kernels\": [\n" jobs;
+  List.iteri
+    (fun i (name, ns, r2) ->
+      Printf.fprintf oc
+        "    {\"name\": \"%s\", \"ns_per_run\": %s, \"r_square\": %s}%s\n"
+        (json_escape name) (json_float ns) (json_float r2)
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Format.printf "wrote kernel timings to %s@." path
+
+let perf_benchmarks ~only ~json ~jobs () =
   let tests =
     Experiments.Registry.all
-    |> List.filter (fun (e : Experiments.Registry.entry) ->
-           match only with
-           | Some id ->
-             String.lowercase_ascii id = String.lowercase_ascii e.Experiments.Registry.id
-           | None -> true)
+    |> List.filter (selected only)
     |> List.map (fun (e : Experiments.Registry.entry) ->
            Test.make
              ~name:(Printf.sprintf "%s-kernel" e.Experiments.Registry.id)
@@ -76,22 +151,40 @@ let perf_benchmarks ~only () =
         else Printf.sprintf "%.0f ns" ns
       in
       Format.printf "%-36s  %14s  %8.4f@." name human r2)
-    rows
+    rows;
+  match json with None -> () | Some path -> write_json path ~jobs rows
 
 let () =
   let full = ref false in
   let tables = ref true in
   let perf = ref true in
   let only = ref None in
+  let jobs = ref (Parallel.Pool.recommended_jobs ()) in
+  let speedup = ref false in
+  let json = ref None in
   let args =
     [
       ("--full", Arg.Set full, "full-scale experiment parameters (slow)");
       ("--no-tables", Arg.Clear tables, "skip the experiment tables");
       ("--no-perf", Arg.Clear perf, "skip the Bechamel timings");
       ("--only", Arg.String (fun s -> only := Some s), "run a single experiment id");
+      ("--jobs", Arg.Set_int jobs, "worker domains for Monte Carlo trials (default: cores - 1)");
+      ( "--speedup",
+        Arg.Set speedup,
+        "time each experiment at jobs=1 vs --jobs and diff the tables" );
+      ("--json", Arg.String (fun s -> json := Some s), "write kernel timings to FILE as JSON");
     ]
   in
-  Arg.parse args (fun _ -> ()) "bench/main.exe [--full] [--only E7] [--no-perf] [--no-tables]";
+  Arg.parse args
+    (fun _ -> ())
+    "bench/main.exe [--full] [--only E7] [--jobs K] [--speedup] [--json FILE] [--no-perf] [--no-tables]";
+  if !jobs < 1 then begin
+    prerr_endline "bench: --jobs must be >= 1";
+    exit 2
+  end;
+  Parallel.Pool.set_default_jobs !jobs;
   let scale = if !full then Experiments.Common.Full else Experiments.Common.Quick in
-  if !tables then experiment_tables ~scale ~only:!only ();
-  if !perf then perf_benchmarks ~only:!only ()
+  if !tables then
+    if !speedup then speedup_tables ~scale ~only:!only ~jobs:!jobs ()
+    else experiment_tables ~scale ~only:!only ();
+  if !perf then perf_benchmarks ~only:!only ~json:!json ~jobs:!jobs ()

@@ -15,6 +15,26 @@ let rng_of_seed seed = Prob.Rng.create ~seed:(Int64.of_int seed) ()
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
 
+(* Monte Carlo parallelism: trials fan out over a domain pool with one
+   split-off generator per trial, so results are identical at every jobs
+   count for the same seed. *)
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"K"
+        ~doc:
+          "Worker domains for Monte Carlo trials (default: cores - 1; \
+           results do not depend on this).")
+
+let set_jobs =
+  Option.iter (fun j ->
+      if j < 1 then begin
+        Format.eprintf "pso_audit: --jobs must be >= 1 (got %d)@." j;
+        exit 2
+      end;
+      Parallel.Pool.set_default_jobs j)
+
 let n_arg default =
   Arg.(value & opt int default & info [ "n"; "size" ] ~docv:"N" ~doc:"Dataset size.")
 
@@ -111,7 +131,8 @@ let anonymize_cmd =
 type game_target = Count | Dp_count | Kanon_member | Kanon_class
 
 let game_cmd =
-  let run seed n trials target =
+  let run seed jobs n trials target =
+    set_jobs jobs;
     let rng = rng_of_seed seed in
     let model = Dataset.Synth.kanon_pso_model ~qis:6 ~retained:42 ~domain:64 in
     let count_query =
@@ -171,7 +192,7 @@ let game_cmd =
   in
   Cmd.v
     (Cmd.info "game" ~doc:"Run the PSO security game (Definition 2.4).")
-    Term.(const run $ seed_arg $ n_arg 120 $ trials_arg $ target_arg)
+    Term.(const run $ seed_arg $ jobs_arg $ n_arg 120 $ trials_arg $ target_arg)
 
 (* --- audit --- *)
 
@@ -184,7 +205,8 @@ type audit_target =
   | A_synthetic
 
 let audit_cmd =
-  let run seed n trials target =
+  let run seed jobs n trials target =
+    set_jobs jobs;
     let rng = rng_of_seed seed in
     let model = Dataset.Synth.kanon_pso_model ~qis:6 ~retained:42 ~domain:64 in
     let count_query =
@@ -249,12 +271,13 @@ let audit_cmd =
   Cmd.v
     (Cmd.info "audit"
        ~doc:"Run the standard PSO attacker battery against a mechanism.")
-    Term.(const run $ seed_arg $ n_arg 120 $ trials_arg $ target_arg)
+    Term.(const run $ seed_arg $ jobs_arg $ n_arg 120 $ trials_arg $ target_arg)
 
 (* --- theorems --- *)
 
 let theorems_cmd =
-  let run seed n trials =
+  let run seed jobs n trials =
+    set_jobs jobs;
     let rng = rng_of_seed seed in
     let params = { Pso.Theorems.n; trials; weight_exponent = 2. } in
     let verdicts = Pso.Theorems.all ~params rng in
@@ -268,12 +291,13 @@ let theorems_cmd =
   in
   Cmd.v
     (Cmd.info "theorems" ~doc:"Run the executable theorem battery.")
-    Term.(const run $ seed_arg $ n_arg 150 $ trials_arg)
+    Term.(const run $ seed_arg $ jobs_arg $ n_arg 150 $ trials_arg)
 
 (* --- report --- *)
 
 let report_cmd =
-  let run seed n trials =
+  let run seed jobs n trials =
+    set_jobs jobs;
     let rng = rng_of_seed seed in
     let report =
       Legal.Report.build ~context:"pso_audit report" rng
@@ -283,12 +307,13 @@ let report_cmd =
   in
   Cmd.v
     (Cmd.info "report" ~doc:"Print the full legal-technical audit report.")
-    Term.(const run $ seed_arg $ n_arg 150 $ trials_arg)
+    Term.(const run $ seed_arg $ jobs_arg $ n_arg 150 $ trials_arg)
 
 (* --- experiment --- *)
 
 let experiment_cmd =
-  let run seed full id =
+  let run seed jobs full id =
+    set_jobs jobs;
     let scale = if full then Experiments.Common.Full else Experiments.Common.Quick in
     let rng = rng_of_seed seed in
     let fmt = Format.std_formatter in
@@ -312,7 +337,7 @@ let experiment_cmd =
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Run an experiment from DESIGN.md's index.")
-    Term.(const run $ seed_arg $ full_arg $ id_arg)
+    Term.(const run $ seed_arg $ jobs_arg $ full_arg $ id_arg)
 
 let () =
   let doc = "singling-out: PSO games, attacks and legal theorems (PODS 2021)" in

@@ -26,11 +26,32 @@ let finish ~truth ~queries_used estimate =
   { estimate; hamming_errors; agreement = agreement estimate truth; queries_used }
 
 let mask_to_subset n mask =
-  let out = ref [] in
-  for i = n - 1 downto 0 do
-    if mask land (1 lsl i) <> 0 then out := i :: !out
+  let size = ref 0 in
+  for i = 0 to n - 1 do
+    if mask land (1 lsl i) <> 0 then incr size
   done;
-  Array.of_list !out
+  let out = Array.make !size 0 in
+  let j = ref 0 in
+  for i = 0 to n - 1 do
+    if mask land (1 lsl i) <> 0 then begin
+      out.(!j) <- i;
+      incr j
+    end
+  done;
+  out
+
+(* The exhaustive search popcounts every (candidate AND mask) pair —
+   O(4^n) of them — so the bit loop is the kernel's hot instruction. A
+   16-bit table (the attack rejects n > 16) turns it into one load. *)
+let popcount16 =
+  lazy
+    (let t = Bytes.create 65536 in
+     Bytes.set t 0 '\000';
+     for m = 1 to 65535 do
+       Bytes.set t m
+         (Char.chr (Char.code (Bytes.get t (m lsr 1)) + (m land 1)))
+     done;
+     t)
 
 let exhaustive oracle ~truth =
   let n = Query.Oracle.n oracle in
@@ -43,10 +64,8 @@ let exhaustive oracle ~truth =
   done;
   (* Popcount of (candidate AND query-mask) is the candidate's exact answer;
      pick the candidate minimizing the worst violation. *)
-  let popcount m =
-    let rec go m acc = if m = 0 then acc else go (m lsr 1) (acc + (m land 1)) in
-    go m 0
-  in
+  let pop = Lazy.force popcount16 in
+  let popcount m = Char.code (Bytes.unsafe_get pop m) in
   let best = ref 0 in
   let best_violation = ref infinity in
   for candidate = 0 to nmasks - 1 do
@@ -69,12 +88,24 @@ let exhaustive oracle ~truth =
   finish ~truth ~queries_used:nmasks estimate
 
 let random_queries rng ~queries n =
-  Array.init queries (fun _ ->
-      let subset = ref [] in
-      for i = n - 1 downto 0 do
-        if Prob.Rng.bool rng then subset := i :: !subset
-      done;
-      Array.of_list !subset)
+  (* Build each subset directly into a scratch buffer instead of consing an
+     intermediate list per query; only the final right-sized copy allocates. *)
+  let scratch = Array.make (max n 1) 0 in
+  let one () =
+    let k = ref 0 in
+    for i = 0 to n - 1 do
+      if Prob.Rng.bool rng then begin
+        scratch.(!k) <- i;
+        incr k
+      end
+    done;
+    Array.sub scratch 0 !k
+  in
+  let out = Array.make queries [||] in
+  for q = 0 to queries - 1 do
+    out.(q) <- one ()
+  done;
+  out
 
 let least_squares rng oracle ~queries ~truth =
   let n = Query.Oracle.n oracle in

@@ -43,22 +43,34 @@ let measure rng ?dp_epsilon ~blocks ~mean_block_size ~coverage () =
     gap_factor = reid.Attacks.Census.confirmed_rate /. prior_estimate;
   }
 
-let run ~scale rng =
-  match scale with
-  | Common.Quick ->
-    [
-      measure rng ~blocks:150 ~mean_block_size:25 ~coverage:0.6 ();
-      measure rng ~dp_epsilon:1. ~blocks:150 ~mean_block_size:25 ~coverage:0.6 ();
-    ]
-  | Common.Full ->
-    [
-      measure rng ~blocks:600 ~mean_block_size:25 ~coverage:0.3 ();
-      measure rng ~blocks:600 ~mean_block_size:25 ~coverage:0.6 ();
-      measure rng ~blocks:600 ~mean_block_size:60 ~coverage:0.6 ();
-      (* The post-2010 response: differentially private tabulations. *)
-      measure rng ~dp_epsilon:4. ~blocks:600 ~mean_block_size:25 ~coverage:0.6 ();
-      measure rng ~dp_epsilon:1. ~blocks:600 ~mean_block_size:25 ~coverage:0.6 ();
-    ]
+let run ?pool ~scale rng =
+  let pool = match pool with Some p -> p | None -> Parallel.Pool.default () in
+  (* Each row is one full tabulate/reconstruct/re-identify pipeline; rows
+     are independent given their own generator, so they fan out across the
+     pool as whole units. *)
+  let rows =
+    match scale with
+    | Common.Quick ->
+      [|
+        (fun rng -> measure rng ~blocks:150 ~mean_block_size:25 ~coverage:0.6 ());
+        (fun rng ->
+          measure rng ~dp_epsilon:1. ~blocks:150 ~mean_block_size:25 ~coverage:0.6 ());
+      |]
+    | Common.Full ->
+      [|
+        (fun rng -> measure rng ~blocks:600 ~mean_block_size:25 ~coverage:0.3 ());
+        (fun rng -> measure rng ~blocks:600 ~mean_block_size:25 ~coverage:0.6 ());
+        (fun rng -> measure rng ~blocks:600 ~mean_block_size:60 ~coverage:0.6 ());
+        (* The post-2010 response: differentially private tabulations. *)
+        (fun rng ->
+          measure rng ~dp_epsilon:4. ~blocks:600 ~mean_block_size:25 ~coverage:0.6 ());
+        (fun rng ->
+          measure rng ~dp_epsilon:1. ~blocks:600 ~mean_block_size:25 ~coverage:0.6 ());
+      |]
+  in
+  Array.to_list
+    (Parallel.Trials.map pool rng ~trials:(Array.length rows)
+       (fun trial_rng i -> rows.(i) trial_rng))
 
 let print ~scale rng fmt =
   Common.banner fmt ~id:"E10"

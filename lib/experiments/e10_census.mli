@@ -21,7 +21,7 @@ type row = {
   gap_factor : float;  (** confirmed / prior *)
 }
 
-val run : scale:Common.scale -> Prob.Rng.t -> row list
+val run : ?pool:Parallel.Pool.t -> scale:Common.scale -> Prob.Rng.t -> row list
 
 val print : scale:Common.scale -> Prob.Rng.t -> Format.formatter -> unit
 

@@ -18,7 +18,7 @@ let domains () =
     (fun name -> (name, List.init domain (fun v -> Dataset.Value.Int v)))
     (Dataset.Schema.names schema)
 
-let measure rng ~trials ~n ~epsilon =
+let measure ~pool rng ~trials ~n ~epsilon =
   let model = Lazy.force model in
   let mechanism =
     match epsilon with
@@ -26,7 +26,7 @@ let measure rng ~trials ~n ~epsilon =
     | Some eps -> Dp.Synthetic.mechanism ~epsilon:eps ~domains:(domains ()) ~rows:n
   in
   let outcome =
-    Pso.Game.run rng ~model ~n ~mechanism
+    Pso.Game.run ~pool rng ~model ~n ~mechanism
       ~attacker:(Pso.Attacker.release_row ())
       ~weight_bound:(Pso.Isolation.negligible_bound ~n ~c:2.)
       ~trials
@@ -50,14 +50,15 @@ let measure rng ~trials ~n ~epsilon =
     marginal_tv_error = tv;
   }
 
-let run ~scale rng =
+let run ?pool ~scale rng =
+  let pool = match pool with Some p -> p | None -> Parallel.Pool.default () in
   let trials, n, epsilons =
     match scale with
     | Common.Quick -> (80, 150, [ 1. ])
     | Common.Full -> (300, 300, [ 0.1; 1.; 10. ])
   in
-  measure rng ~trials ~n ~epsilon:None
-  :: List.map (fun eps -> measure rng ~trials ~n ~epsilon:(Some eps)) epsilons
+  measure ~pool rng ~trials ~n ~epsilon:None
+  :: List.map (fun eps -> measure ~pool rng ~trials ~n ~epsilon:(Some eps)) epsilons
 
 let print ~scale rng fmt =
   Common.banner fmt ~id:"E13"
@@ -81,4 +82,7 @@ let print ~scale rng fmt =
          ])
        rows)
 
-let kernel rng = ignore (measure rng ~trials:10 ~n:100 ~epsilon:(Some 1.))
+let kernel rng =
+  ignore
+    (measure ~pool:(Parallel.Pool.default ()) rng ~trials:10 ~n:100
+       ~epsilon:(Some 1.))

@@ -17,7 +17,7 @@ type row = {
   marginal_tv_error : float;  (** mean TV distance of fitted vs true marginals *)
 }
 
-val run : scale:Common.scale -> Prob.Rng.t -> row list
+val run : ?pool:Parallel.Pool.t -> scale:Common.scale -> Prob.Rng.t -> row list
 
 val print : scale:Common.scale -> Prob.Rng.t -> Format.formatter -> unit
 

@@ -15,7 +15,9 @@ type row = {
   blatant : bool;  (** agreement above the blatant-non-privacy threshold *)
 }
 
-val run : scale:Common.scale -> Prob.Rng.t -> row list
+val run : ?pool:Parallel.Pool.t -> scale:Common.scale -> Prob.Rng.t -> row list
+(** Trials fan out across [pool] (default {!Parallel.Pool.default}); rows
+    are identical at every pool size for a given generator state. *)
 
 val print : scale:Common.scale -> Prob.Rng.t -> Format.formatter -> unit
 

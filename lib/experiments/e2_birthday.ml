@@ -34,13 +34,13 @@ let model =
          ("noise", Prob.Distribution.uniform (List.init 4096 (fun d -> Dataset.Value.Int d)));
        ])
 
-let measure_with rng ~trials ~n attacker =
+let measure_with ~pool rng ~trials ~n attacker =
   let model = Lazy.force model in
   let mechanism = Query.Mechanism.exact_count Query.Predicate.True in
   (* weight_bound = 1: count raw isolations (this experiment is about the
      isolation probability itself, not the weight cutoff). *)
   let outcome =
-    Pso.Game.run rng ~model ~n ~mechanism ~attacker ~weight_bound:1. ~trials
+    Pso.Game.run ~pool rng ~model ~n ~mechanism ~attacker ~weight_bound:1. ~trials
   in
   let isolation_rate =
     float_of_int outcome.Pso.Game.isolations /. float_of_int trials
@@ -50,10 +50,11 @@ let measure_with rng ~trials ~n attacker =
   in
   (isolation_rate, ci)
 
-let measure rng ~trials ~n ~buckets =
-  measure_with rng ~trials ~n (Pso.Attacker.hash_bucket ~buckets)
+let measure ~pool rng ~trials ~n ~buckets =
+  measure_with ~pool rng ~trials ~n (Pso.Attacker.hash_bucket ~buckets)
 
-let run ~scale rng =
+let run ?pool ~scale rng =
+  let pool = match pool with Some p -> p | None -> Parallel.Pool.default () in
   let trials = match scale with Common.Quick -> 400 | Common.Full -> 2000 in
   let n = 365 in
   (* The paper's literal attacker: a fixed date (Apr-30 is day 119),
@@ -61,7 +62,7 @@ let run ~scale rng =
   let fixed =
     let w = 1. /. 365. in
     let empirical, ci =
-      measure_with rng ~trials ~n
+      measure_with ~pool rng ~trials ~n
         (Pso.Attacker.fixed_value ~attr:"birthday" (Dataset.Value.Int 119))
     in
     {
@@ -76,7 +77,7 @@ let run ~scale rng =
   :: List.map
        (fun buckets ->
          let w = 1. /. float_of_int buckets in
-         let empirical, ci = measure rng ~trials ~n ~buckets in
+         let empirical, ci = measure ~pool rng ~trials ~n ~buckets in
          {
            n;
            weight = w;
@@ -110,4 +111,5 @@ let print ~scale rng fmt =
   Format.fprintf fmt "@.(1/e = %s; the paper's quoted 37%%)@."
     (Common.pct Pso.Isolation.one_over_e)
 
-let kernel rng = ignore (measure rng ~trials:20 ~n:365 ~buckets:365)
+let kernel rng =
+  ignore (measure ~pool:(Parallel.Pool.default ()) rng ~trials:20 ~n:365 ~buckets:365)

@@ -11,10 +11,10 @@ let mechanism =
   Query.Mechanism.exact_count
     (Query.Predicate.Atom (Query.Predicate.Range ("a0", 0., 8.)))
 
-let measure rng ~trials ~n ~c =
+let measure ~pool rng ~trials ~n ~c =
   let buckets = int_of_float (Float.pow (float_of_int n) (c +. 1.)) in
   let outcome =
-    Pso.Game.run rng ~model:(Lazy.force model) ~n ~mechanism
+    Pso.Game.run ~pool rng ~model:(Lazy.force model) ~n ~mechanism
       ~attacker:(Pso.Attacker.hash_bucket ~buckets)
       ~weight_bound:(Pso.Isolation.negligible_bound ~n ~c)
       ~trials
@@ -27,14 +27,15 @@ let measure rng ~trials ~n ~c =
       float_of_int outcome.Pso.Game.isolations /. float_of_int trials;
   }
 
-let run ~scale rng =
+let run ?pool ~scale rng =
+  let pool = match pool with Some p -> p | None -> Parallel.Pool.default () in
   let trials, ns =
     match scale with
     | Common.Quick -> (400, [ 16; 32; 64 ])
     | Common.Full -> (3000, [ 16; 32; 64; 128; 256 ])
   in
   List.concat_map
-    (fun c -> List.map (fun n -> measure rng ~trials ~n ~c) ns)
+    (fun c -> List.map (fun n -> measure ~pool rng ~trials ~n ~c) ns)
     [ 1.; 2.; 4. ]
 
 let decay rows ~c =
@@ -71,4 +72,5 @@ let print ~scale rng fmt =
         (Prob.Decay.to_string (decay rows ~c)))
     [ 1.; 2.; 4. ]
 
-let kernel rng = ignore (measure rng ~trials:50 ~n:64 ~c:2.)
+let kernel rng =
+  ignore (measure ~pool:(Parallel.Pool.default ()) rng ~trials:50 ~n:64 ~c:2.)

@@ -13,7 +13,7 @@ type row = {
   isolations_any_weight : float;  (** incl. heavy predicates, for context *)
 }
 
-val run : scale:Common.scale -> Prob.Rng.t -> row list
+val run : ?pool:Parallel.Pool.t -> scale:Common.scale -> Prob.Rng.t -> row list
 
 val decay : row list -> c:float -> Prob.Decay.shape
 (** Decay classification of success vs n at a fixed exponent. *)

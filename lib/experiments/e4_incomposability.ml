@@ -7,11 +7,11 @@ type row = {
 
 let model = lazy (Dataset.Synth.pso_model ~attributes:4 ~values_per_attribute:16)
 
-let games rng ~trials ~n =
+let games ~pool rng ~trials ~n =
   let pad = Pso.Pad.make ~salt:(Prob.Rng.bits64 rng) in
   let play target mechanism attacker =
     let outcome =
-      Pso.Game.run rng ~model:(Lazy.force model) ~n ~mechanism ~attacker
+      Pso.Game.run ~pool rng ~model:(Lazy.force model) ~n ~mechanism ~attacker
         ~weight_bound:(Pso.Isolation.negligible_bound ~n ~c:2.)
         ~trials
     in
@@ -28,13 +28,14 @@ let games rng ~trials ~n =
     play "(M1,M2) composed" pad.Pso.Pad.composed pad.Pso.Pad.joint_attacker;
   ]
 
-let run ~scale rng =
+let run ?pool ~scale rng =
+  let pool = match pool with Some p -> p | None -> Parallel.Pool.default () in
   let trials, ns =
     match scale with
     | Common.Quick -> (150, [ 100 ])
     | Common.Full -> (800, [ 50; 200; 800 ])
   in
-  List.concat_map (fun n -> games rng ~trials ~n) ns
+  List.concat_map (fun n -> games ~pool rng ~trials ~n) ns
 
 let print ~scale rng fmt =
   Common.banner fmt ~id:"E4"
@@ -56,4 +57,5 @@ let print ~scale rng fmt =
          ])
        rows)
 
-let kernel rng = ignore (games rng ~trials:20 ~n:50)
+let kernel rng =
+  ignore (games ~pool:(Parallel.Pool.default ()) rng ~trials:20 ~n:50)

@@ -11,7 +11,7 @@ type row = {
   ci : float * float;
 }
 
-val run : scale:Common.scale -> Prob.Rng.t -> row list
+val run : ?pool:Parallel.Pool.t -> scale:Common.scale -> Prob.Rng.t -> row list
 
 val print : scale:Common.scale -> Prob.Rng.t -> Format.formatter -> unit
 

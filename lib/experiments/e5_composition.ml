@@ -11,7 +11,7 @@ type row = {
 
 let model = lazy (Dataset.Synth.pso_model ~attributes:3 ~values_per_attribute:64)
 
-let measure rng ~trials ~n ~ell ~variant =
+let measure ~pool rng ~trials ~n ~ell ~variant =
   let salt = Prob.Rng.bits64 rng in
   let scheme =
     match variant with
@@ -20,7 +20,7 @@ let measure rng ~trials ~n ~ell ~variant =
   in
   let c = 2. in
   let outcome =
-    Pso.Game.run rng ~model:(Lazy.force model) ~n
+    Pso.Game.run ~pool rng ~model:(Lazy.force model) ~n
       ~mechanism:scheme.Pso.Composition.mechanism
       ~attacker:scheme.Pso.Composition.attacker
       ~weight_bound:(Pso.Isolation.negligible_bound ~n ~c)
@@ -38,7 +38,8 @@ let measure rng ~trials ~n ~ell ~variant =
       float_of_int outcome.Pso.Game.isolations /. float_of_int outcome.Pso.Game.trials;
   }
 
-let run ~scale rng =
+let run ?pool ~scale rng =
+  let pool = match pool with Some p -> p | None -> Parallel.Pool.default () in
   let trials, ns, ells =
     match scale with
     | Common.Quick -> (100, [ 128 ], [ 4; 12; 24; 40 ])
@@ -49,8 +50,8 @@ let run ~scale rng =
       List.concat_map
         (fun ell ->
           [
-            measure rng ~trials ~n ~ell ~variant:`Single;
-            measure rng ~trials ~n ~ell ~variant:`Scouted;
+            measure ~pool rng ~trials ~n ~ell ~variant:`Single;
+            measure ~pool rng ~trials ~n ~ell ~variant:`Scouted;
           ])
         ells)
     ns
@@ -83,4 +84,7 @@ let print ~scale rng fmt =
          ])
        rows)
 
-let kernel rng = ignore (measure rng ~trials:10 ~n:128 ~ell:24 ~variant:`Scouted)
+let kernel rng =
+  ignore
+    (measure ~pool:(Parallel.Pool.default ()) rng ~trials:10 ~n:128 ~ell:24
+       ~variant:`Scouted)

@@ -18,7 +18,7 @@ type row = {
   isolations_any_weight : float;
 }
 
-val run : scale:Common.scale -> Prob.Rng.t -> row list
+val run : ?pool:Parallel.Pool.t -> scale:Common.scale -> Prob.Rng.t -> row list
 
 val print : scale:Common.scale -> Prob.Rng.t -> Format.formatter -> unit
 

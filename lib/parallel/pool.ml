@@ -1,0 +1,186 @@
+type task = unit -> unit
+
+type t = {
+  jobs : int;
+  queue : task Queue.t;
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let recommended_jobs () = max 1 (Domain.recommended_domain_count () - 1)
+
+let jobs t = t.jobs
+
+let worker_loop pool =
+  let rec take () =
+    Mutex.lock pool.mutex;
+    let rec wait () =
+      if pool.stop then begin
+        Mutex.unlock pool.mutex;
+        None
+      end
+      else if Queue.is_empty pool.queue then begin
+        Condition.wait pool.nonempty pool.mutex;
+        wait ()
+      end
+      else begin
+        let task = Queue.pop pool.queue in
+        Mutex.unlock pool.mutex;
+        Some task
+      end
+    in
+    match wait () with
+    | None -> ()
+    | Some task ->
+      (* Tasks are wrapped by the submitter and never raise. *)
+      task ();
+      take ()
+  in
+  take ()
+
+let create ?jobs () =
+  let jobs = match jobs with Some j -> j | None -> recommended_jobs () in
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  let pool =
+    {
+      jobs;
+      queue = Queue.create ();
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      stop = false;
+      workers = [];
+    }
+  in
+  pool.workers <-
+    List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  pool
+
+let shutdown pool =
+  let workers =
+    Mutex.lock pool.mutex;
+    let ws = pool.workers in
+    pool.stop <- true;
+    pool.workers <- [];
+    Condition.broadcast pool.nonempty;
+    Mutex.unlock pool.mutex;
+    ws
+  in
+  List.iter Domain.join workers
+
+let submit pool task =
+  Mutex.lock pool.mutex;
+  Queue.push task pool.queue;
+  Condition.signal pool.nonempty;
+  Mutex.unlock pool.mutex
+
+(* Sequential fallback with a guaranteed 0..n-1 evaluation order (Array.init
+   leaves the order unspecified). *)
+let sequential_init n f =
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n (f 0) in
+    for i = 1 to n - 1 do
+      out.(i) <- f i
+    done;
+    out
+  end
+
+let parallel_init_array pool n f =
+  if n < 0 then invalid_arg "Pool.parallel_init_array: negative length";
+  if n = 0 then [||]
+  else if pool.jobs = 1 || n = 1 then sequential_init n f
+  else begin
+    let slots = Array.make n None in
+    let next = Atomic.make 0 in
+    let finish_mutex = Mutex.create () in
+    let finished = Condition.create () in
+    let completed = ref 0 in
+    let error = ref None in
+    (* Dynamic index-stealing: every participant (the caller plus up to
+       jobs-1 pool workers) claims indices from a shared counter, so
+       uneven per-index costs balance automatically. Results land in
+       their index's slot, which keeps the output independent of how
+       work was interleaved. *)
+    let steal () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (match f i with
+          | v -> slots.(i) <- Some v
+          | exception e ->
+            let bt = Printexc.get_raw_backtrace () in
+            Mutex.lock finish_mutex;
+            if !error = None then error := Some (e, bt);
+            Mutex.unlock finish_mutex);
+          Mutex.lock finish_mutex;
+          incr completed;
+          if !completed = n then Condition.signal finished;
+          Mutex.unlock finish_mutex;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let helpers = min (pool.jobs - 1) (n - 1) in
+    for _ = 1 to helpers do
+      submit pool steal
+    done;
+    steal ();
+    Mutex.lock finish_mutex;
+    while !completed < n do
+      Condition.wait finished finish_mutex
+    done;
+    Mutex.unlock finish_mutex;
+    (match !error with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
+    Array.map (function Some v -> v | None -> assert false) slots
+  end
+
+let map_reduce pool ~n ~map ~combine ~init =
+  (* Results are always folded in index order on the caller, so the value
+     is byte-identical at every jobs count even when [combine] is not
+     exactly associative (floating-point sums). *)
+  Array.fold_left combine init (parallel_init_array pool n map)
+
+(* The process-wide default pool, configured once by the CLI layer and
+   created lazily on first use. *)
+
+let default_pool = ref None
+
+let requested_default_jobs = ref None
+
+let at_exit_registered = ref false
+
+let set_default_jobs j =
+  if j < 1 then invalid_arg "Pool.set_default_jobs: jobs must be >= 1";
+  requested_default_jobs := Some j;
+  match !default_pool with
+  | Some p when p.jobs <> j ->
+    default_pool := None;
+    shutdown p
+  | Some _ | None -> ()
+
+let default () =
+  match !default_pool with
+  | Some p -> p
+  | None ->
+    let jobs =
+      match !requested_default_jobs with
+      | Some j -> j
+      | None -> recommended_jobs ()
+    in
+    let p = create ~jobs () in
+    default_pool := Some p;
+    if not !at_exit_registered then begin
+      at_exit_registered := true;
+      at_exit (fun () ->
+          match !default_pool with
+          | Some p ->
+            default_pool := None;
+            shutdown p
+          | None -> ())
+    end;
+    p

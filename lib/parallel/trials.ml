@@ -1,0 +1,17 @@
+let split_rngs rng trials =
+  (* One child generator per trial, derived sequentially on the caller so
+     the parent stream advances by exactly [trials] splits no matter how
+     many workers later consume the children. *)
+  let rngs = Array.make trials rng in
+  for i = 0 to trials - 1 do
+    rngs.(i) <- Prob.Rng.split rng
+  done;
+  rngs
+
+let map pool rng ~trials f =
+  if trials < 0 then invalid_arg "Trials.map: negative trial count";
+  let rngs = split_rngs rng trials in
+  Pool.parallel_init_array pool trials (fun i -> f rngs.(i) i)
+
+let fold pool rng ~trials ~init ~combine f =
+  Array.fold_left combine init (map pool rng ~trials f)

@@ -1,0 +1,34 @@
+(** Deterministic Monte Carlo fan-out: N trials over K workers.
+
+    The determinism contract — the centerpiece of the design — is that
+    randomness is split {e per trial}, not per worker. [map pool rng
+    ~trials f] derives [trials] child generators from [rng] by sequential
+    {!Prob.Rng.split} on the calling domain, then evaluates [f child_i i]
+    with the trials distributed over the pool. Consequences:
+
+    - the parent [rng] advances by exactly [trials] splits, so everything
+      sampled after the call sees the same stream at every [jobs] count;
+    - trial [i] always receives the same child generator, so per-trial
+      results are identical at every [jobs] count;
+    - {!fold} combines in trial order on the caller, so even
+      floating-point accumulations are byte-identical at [jobs = 1] and
+      [jobs = K].
+
+    [f] must draw randomness only from the child generator it is given. *)
+
+val map :
+  Pool.t -> Prob.Rng.t -> trials:int -> (Prob.Rng.t -> int -> 'a) -> 'a array
+(** [map pool rng ~trials f] is [[| f r0 0; ...; f r_{trials-1} (trials-1) |]]
+    where [r_i] is the [i]-th child split off [rng]. Raises
+    [Invalid_argument] if [trials < 0]. *)
+
+val fold :
+  Pool.t ->
+  Prob.Rng.t ->
+  trials:int ->
+  init:'b ->
+  combine:('b -> 'a -> 'b) ->
+  (Prob.Rng.t -> int -> 'a) ->
+  'b
+(** [fold] is [map] followed by an in-order [Array.fold_left] on the
+    caller. *)

@@ -10,35 +10,56 @@ type outcome = {
   mean_weight : float;
 }
 
-let run rng ~model ~n ~mechanism ~attacker ~weight_bound ~trials =
+(* One trial's contribution, combined associatively in trial order. *)
+type tally = {
+  succ : int;
+  iso : int;
+  heavy : int;
+  weight_sum : float;
+}
+
+let tally_zero = { succ = 0; iso = 0; heavy = 0; weight_sum = 0. }
+
+let tally_add a b =
+  {
+    succ = a.succ + b.succ;
+    iso = a.iso + b.iso;
+    heavy = a.heavy + b.heavy;
+    weight_sum = a.weight_sum +. b.weight_sum;
+  }
+
+let run ?pool rng ~model ~n ~mechanism ~attacker ~weight_bound ~trials =
   if n <= 0 then invalid_arg "Game.run: n";
   if trials <= 0 then invalid_arg "Game.run: trials";
+  let pool = match pool with Some p -> p | None -> Parallel.Pool.default () in
   let schema = Dataset.Model.schema model in
-  let successes = ref 0 in
-  let isolations = ref 0 in
-  let heavy = ref 0 in
-  let weight_sum = ref 0. in
-  for _ = 1 to trials do
-    let x = Dataset.Model.sample_table rng model n in
-    let y = Query.Mechanism.run mechanism rng x in
-    let p = Attacker.attack attacker rng y in
+  let trial trial_rng _i =
+    let x = Dataset.Model.sample_table trial_rng model n in
+    let y = Query.Mechanism.run mechanism trial_rng x in
+    let p = Attacker.attack attacker trial_rng y in
     let w = Query.Predicate.weight_value (Query.Predicate.weight model p) in
-    weight_sum := !weight_sum +. w;
-    if Query.Predicate.isolates schema p x then begin
-      incr isolations;
-      if w <= weight_bound then incr successes else incr heavy
-    end
-  done;
+    let isolated = Query.Predicate.isolates schema p x in
+    {
+      succ = (if isolated && w <= weight_bound then 1 else 0);
+      iso = (if isolated then 1 else 0);
+      heavy = (if isolated && w > weight_bound then 1 else 0);
+      weight_sum = w;
+    }
+  in
+  let t =
+    Parallel.Trials.fold pool rng ~trials ~init:tally_zero ~combine:tally_add
+      trial
+  in
   {
     trials;
     n;
     weight_bound;
-    successes = !successes;
-    isolations = !isolations;
-    heavy_isolations = !heavy;
-    success_rate = float_of_int !successes /. float_of_int trials;
-    success_ci = Prob.Stats.proportion_ci ~successes:!successes ~trials;
-    mean_weight = !weight_sum /. float_of_int trials;
+    successes = t.succ;
+    isolations = t.iso;
+    heavy_isolations = t.heavy;
+    success_rate = float_of_int t.succ /. float_of_int trials;
+    success_ci = Prob.Stats.proportion_ci ~successes:t.succ ~trials;
+    mean_weight = t.weight_sum /. float_of_int trials;
   }
 
 let pp fmt o =

@@ -21,6 +21,7 @@ type outcome = {
 }
 
 val run :
+  ?pool:Parallel.Pool.t ->
   Prob.Rng.t ->
   model:Dataset.Model.t ->
   n:int ->
@@ -29,6 +30,9 @@ val run :
   weight_bound:float ->
   trials:int ->
   outcome
-(** Raises [Invalid_argument] if [n <= 0] or [trials <= 0]. *)
+(** Trials fan out over [pool] (default {!Parallel.Pool.default}) with one
+    child generator split off [rng] per trial, so the outcome — and the
+    state [rng] is left in — is identical at every pool size for a given
+    seed. Raises [Invalid_argument] if [n <= 0] or [trials <= 0]. *)
 
 val pp : Format.formatter -> outcome -> unit

@@ -72,15 +72,19 @@ let atom_attr = function
    construction's conjoin 64 bit-atoms with one salt, so recomputing the
    serialization and hash per atom would dominate. A single-slot cache keyed
    by the row's physical identity and the salt removes the rework (the
-   common evaluation loops revisit the same row for many atoms/queries). *)
-let digest_cache : (Table.row * int64 * int64) option ref = ref None
+   common evaluation loops revisit the same row for many atoms/queries).
+   The slot is domain-local so that trials evaluated on different pool
+   workers memoize independently instead of thrashing one shared slot. *)
+let digest_cache : (Table.row * int64 * int64) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
 
 let row_digest row salt =
-  match !digest_cache with
+  let cache = Domain.DLS.get digest_cache in
+  match !cache with
   | Some (r, s, d) when r == row && s = salt -> d
   | _ ->
     let d = Prob.Hashing.hash64 ~salt (encode_row row) in
-    digest_cache := Some (row, salt, d);
+    cache := Some (row, salt, d);
     d
 
 let eval_atom schema atom row =

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 gate plus a parallel-determinism smoke test:
+#   1. dune build && dune runtest
+#   2. quick-scale E2 tables must be byte-identical at --jobs 1 and --jobs 2
+#      (the per-trial RNG fan-out guarantee, checked end to end through the
+#      bench harness).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+dune build
+dune runtest
+
+tmp1=$(mktemp) tmp2=$(mktemp)
+trap 'rm -f "$tmp1" "$tmp2"' EXIT
+
+# The trailing "[E2 finished in X.Xs]" line is wall-clock and legitimately
+# differs between runs; everything else must match exactly.
+dune exec bench/main.exe -- --no-perf --only E2 --jobs 1 | grep -v '^\[E' > "$tmp1"
+dune exec bench/main.exe -- --no-perf --only E2 --jobs 2 | grep -v '^\[E' > "$tmp2"
+
+if ! diff -u "$tmp1" "$tmp2"; then
+  echo "ci: determinism violation: E2 tables differ between --jobs 1 and --jobs 2" >&2
+  exit 1
+fi
+
+echo "ci: ok (build + tests + jobs-determinism smoke)"
