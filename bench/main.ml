@@ -69,40 +69,42 @@ let speedup_tables ~scale ~only ~jobs () =
     exit 1
   end
 
-let json_escape s =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
+(* The --json output contract (see EXPERIMENTS.md, "Statistical
+   methodology"): a single object with fields "schema" (the string below),
+   "version" (integer, bumped on breaking changes), "jobs", and "kernels" —
+   an array of {"name", "ns_per_run", "r_square"} in ascending name order.
+   Core.Json renders canonically (keys sorted, round-tripping floats), so
+   the bytes are stable for a given measurement. *)
+let json_schema = "bench-kernels/v1"
 
-let json_float f =
-  (* JSON has no NaN/infinity; degrade to null. *)
-  if Float.is_finite f then Printf.sprintf "%.6g" f else "null"
+let json_schema_version = 1
+
+let kernel_json (name, ns, r2) =
+  Core.Json.Obj
+    [
+      ("name", Core.Json.String name);
+      ("ns_per_run", Core.Json.number ns);
+      ("r_square", Core.Json.number r2);
+    ]
 
 let write_json path ~jobs rows =
+  let doc =
+    Core.Json.Obj
+      [
+        ("schema", Core.Json.String json_schema);
+        ("version", Core.Json.Number (float_of_int json_schema_version));
+        ("jobs", Core.Json.Number (float_of_int jobs));
+        ("kernels", Core.Json.List (List.map kernel_json rows));
+      ]
+  in
   let oc =
     try open_out path
     with Sys_error msg ->
       Format.eprintf "bench: cannot write --json file: %s@." msg;
       exit 2
   in
-  Printf.fprintf oc "{\n  \"schema\": \"bench-kernels/v1\",\n  \"jobs\": %d,\n  \"kernels\": [\n" jobs;
-  List.iteri
-    (fun i (name, ns, r2) ->
-      Printf.fprintf oc
-        "    {\"name\": \"%s\", \"ns_per_run\": %s, \"r_square\": %s}%s\n"
-        (json_escape name) (json_float ns) (json_float r2)
-        (if i = List.length rows - 1 then "" else ","))
-    rows;
-  Printf.fprintf oc "  ]\n}\n";
+  output_string oc (Core.Json.to_string ~pretty:true doc);
+  output_char oc '\n';
   close_out oc;
   Format.printf "wrote kernel timings to %s@." path
 
@@ -175,13 +177,30 @@ let () =
       ("--json", Arg.String (fun s -> json := Some s), "write kernel timings to FILE as JSON");
     ]
   in
+  let usage =
+    "usage: bench/main.exe [--full] [--only E7] [--jobs K] [--speedup] [--json FILE] [--no-perf] [--no-tables]"
+  in
   Arg.parse args
-    (fun _ -> ())
-    "bench/main.exe [--full] [--only E7] [--jobs K] [--speedup] [--json FILE] [--no-perf] [--no-tables]";
+    (fun anon ->
+      Format.eprintf "bench: unexpected argument %s@." anon;
+      Arg.usage args usage;
+      exit 2)
+    usage;
   if !jobs < 1 then begin
     prerr_endline "bench: --jobs must be >= 1";
+    Arg.usage args usage;
     exit 2
   end;
+  (match !only with
+  | Some id when Experiments.Registry.find id = None ->
+    Format.eprintf "bench: unknown experiment id %s (valid: %s)@." id
+      (String.concat ", "
+         (List.map
+            (fun (e : Experiments.Registry.entry) -> e.Experiments.Registry.id)
+            Experiments.Registry.all));
+    Arg.usage args usage;
+    exit 2
+  | _ -> ());
   Parallel.Pool.set_default_jobs !jobs;
   let scale = if !full then Experiments.Common.Full else Experiments.Common.Quick in
   if !tables then

@@ -6,6 +6,7 @@
      game         run the PSO security game for a chosen mechanism
      theorems     run the executable theorem battery (1.3, 2.5-2.10)
      report       print the full legal-technical report
+     dpcheck      empirically audit the eps-DP mechanisms (Definition 1.2)
      experiment   run one of E1..E13 (or `all`) *)
 
 open Cmdliner
@@ -309,6 +310,89 @@ let report_cmd =
     (Cmd.info "report" ~doc:"Print the full legal-technical audit report.")
     Term.(const run $ seed_arg $ jobs_arg $ n_arg 150 $ trials_arg)
 
+(* --- dpcheck --- *)
+
+let dpcheck_cmd =
+  let run seed jobs trials confidence battery mechanism =
+    set_jobs jobs;
+    if trials < 1 then begin
+      Format.eprintf "pso_audit: --trials must be >= 1 (got %d)@." trials;
+      exit 2
+    end;
+    if not (confidence > 0. && confidence < 1.) then begin
+      Format.eprintf "pso_audit: --confidence must be in (0, 1) (got %g)@."
+        confidence;
+      exit 2
+    end;
+    let cases =
+      match mechanism with
+      | Some name -> (
+        match Stattest.Dp_audit.find name with
+        | Some case -> [ case ]
+        | None ->
+          Format.eprintf "pso_audit: unknown mechanism %S (valid: %s)@." name
+            (String.concat ", "
+               (List.map
+                  (fun (c : Stattest.Dp_audit.case) -> c.Stattest.Dp_audit.name)
+                  (Stattest.Dp_audit.all ())));
+          exit 2)
+      | None -> (
+        match battery with
+        | "standard" -> Stattest.Dp_audit.standard ()
+        | "broken" -> Stattest.Dp_audit.broken ()
+        | "all" -> Stattest.Dp_audit.all ()
+        | other ->
+          Format.eprintf
+            "pso_audit: --battery must be standard | broken | all (got %S)@."
+            other;
+          exit 2)
+    in
+    let rng = rng_of_seed seed in
+    let flagged =
+      List.filter
+        (fun case ->
+          let report = Stattest.Dp_audit.run ~confidence ~trials rng case in
+          Format.printf "%a@." Stattest.Dp_audit.pp_report report;
+          not (Stattest.Dp_audit.passed report))
+        cases
+    in
+    Format.printf "dpcheck: %d/%d mechanism(s) flagged@." (List.length flagged)
+      (List.length cases);
+    if flagged <> [] then exit 1
+  in
+  let trials_arg =
+    Arg.(
+      value & opt int 60_000
+      & info [ "trials" ] ~docv:"T" ~doc:"Monte Carlo trials per neighbor.")
+  in
+  let confidence_arg =
+    Arg.(
+      value & opt float 0.9999
+      & info [ "confidence" ] ~docv:"C"
+          ~doc:"Family-wise confidence for violation certificates.")
+  in
+  let battery_arg =
+    Arg.(
+      value & opt string "standard"
+      & info [ "battery" ] ~docv:"B"
+          ~doc:"standard | broken | all (ignored with --mechanism).")
+  in
+  let mechanism_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "mechanism" ] ~docv:"M"
+          ~doc:"Audit a single case, e.g. laplace or broken-laplace.")
+  in
+  Cmd.v
+    (Cmd.info "dpcheck"
+       ~doc:
+         "Empirically audit the eps-DP mechanisms (Definition 1.2); exits 1 \
+          when a statistically certified violation is found.")
+    Term.(
+      const run $ seed_arg $ jobs_arg $ trials_arg $ confidence_arg
+      $ battery_arg $ mechanism_arg)
+
 (* --- experiment --- *)
 
 let experiment_cmd =
@@ -346,5 +430,5 @@ let () =
        (Cmd.group (Cmd.info "pso_audit" ~version:Core.version ~doc)
           [
             synth_cmd; anonymize_cmd; game_cmd; audit_cmd; theorems_cmd; report_cmd;
-            experiment_cmd;
+            dpcheck_cmd; experiment_cmd;
           ]))

@@ -9,6 +9,7 @@ module Kanon = Kanon
 module Attacks = Attacks
 module Pso = Pso
 module Legal = Legal
+module Json = Json
 
 module Audit = struct
   type finding = { attacker : string; outcome : Pso.Game.outcome }

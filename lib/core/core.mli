@@ -18,6 +18,10 @@ module Attacks = Attacks
 module Pso = Pso
 module Legal = Legal
 
+(** {1 Utilities} *)
+
+module Json = Json
+
 (** {1 One-call audits} *)
 
 module Audit : sig

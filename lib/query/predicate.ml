@@ -188,8 +188,12 @@ let analytic_weight model cs =
         | exception Not_found -> ok := false)
       by_attr;
     if not !ok then None
-    else if !salted then Some (Salted !w)
-    else Some (Exact !w)
+    else begin
+      (* cell_prob sums marginal masses, so rounding can push a certain
+         event a few ulps past 1; weights are probabilities, clamp. *)
+      let w = Float.max 0. (Float.min 1. !w) in
+      if !salted then Some (Salted w) else Some (Exact w)
+    end
   end
 
 let default_trials = 20_000

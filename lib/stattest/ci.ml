@@ -1,0 +1,64 @@
+let default_confidence = 0.999
+
+let check_confidence confidence =
+  if confidence <= 0. || confidence >= 1. then
+    invalid_arg "Stattest.Ci: confidence must be in (0, 1)"
+
+let check_binomial ~successes ~trials =
+  if trials <= 0 then invalid_arg "Stattest.Ci: trials must be positive";
+  if successes < 0 || successes > trials then
+    invalid_arg "Stattest.Ci: successes must be in [0, trials]"
+
+(* Clopper–Pearson bounds are beta-distribution quantiles:
+   lower = B⁻¹(α/2; s, n−s+1), upper = B⁻¹(1−α/2; s+1, n−s). *)
+let cp_lower ~alpha ~successes ~trials =
+  if successes = 0 then 0.
+  else
+    Special.beta_quantile
+      ~a:(float_of_int successes)
+      ~b:(float_of_int (trials - successes + 1))
+      alpha
+
+let cp_upper ~alpha ~successes ~trials =
+  if successes = trials then 1.
+  else
+    Special.beta_quantile
+      ~a:(float_of_int (successes + 1))
+      ~b:(float_of_int (trials - successes))
+      (1. -. alpha)
+
+let clopper_pearson ?(confidence = default_confidence) ~successes ~trials () =
+  check_confidence confidence;
+  check_binomial ~successes ~trials;
+  let alpha = (1. -. confidence) /. 2. in
+  (cp_lower ~alpha ~successes ~trials, cp_upper ~alpha ~successes ~trials)
+
+let clopper_pearson_upper ?(confidence = default_confidence) ~successes ~trials () =
+  check_confidence confidence;
+  check_binomial ~successes ~trials;
+  cp_upper ~alpha:(1. -. confidence) ~successes ~trials
+
+let clopper_pearson_lower ?(confidence = default_confidence) ~successes ~trials () =
+  check_confidence confidence;
+  check_binomial ~successes ~trials;
+  cp_lower ~alpha:(1. -. confidence) ~successes ~trials
+
+let mean_ci ?(confidence = default_confidence) xs =
+  check_confidence confidence;
+  let n = Array.length xs in
+  if n < 2 then invalid_arg "Stattest.Ci.mean_ci: need at least 2 samples";
+  let s = Prob.Stats.summarize xs in
+  let z = Special.normal_quantile (1. -. ((1. -. confidence) /. 2.)) in
+  let half = z *. s.Prob.Stats.std /. Float.sqrt (float_of_int n) in
+  (s.Prob.Stats.mean -. half, s.Prob.Stats.mean +. half)
+
+let variance_ci ?(confidence = default_confidence) xs =
+  check_confidence confidence;
+  let n = Array.length xs in
+  if n < 2 then invalid_arg "Stattest.Ci.variance_ci: need at least 2 samples";
+  let s2 = Prob.Stats.variance xs in
+  let df = float_of_int (n - 1) in
+  let alpha = (1. -. confidence) /. 2. in
+  let chi_lo = Special.chi_square_quantile ~df alpha in
+  let chi_hi = Special.chi_square_quantile ~df (1. -. alpha) in
+  (df *. s2 /. chi_hi, df *. s2 /. chi_lo)

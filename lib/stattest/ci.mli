@@ -1,0 +1,28 @@
+(** Confidence intervals for the quantities the Monte Carlo experiments
+    estimate: binomial proportions (exact Clopper–Pearson coverage), means
+    (large-sample normal) and variances (chi-square). Every interval takes
+    an explicit [confidence] in (0, 1); with seeded generators the
+    resulting assertions are fully deterministic, and the confidence level
+    is the principled replacement for a hand-picked tolerance. *)
+
+val clopper_pearson :
+  ?confidence:float -> successes:int -> trials:int -> unit -> float * float
+(** Exact (conservative) two-sided binomial interval via beta quantiles;
+    default [confidence] 0.999. Raises [Invalid_argument] on
+    [trials <= 0], [successes] outside [0, trials], or a confidence
+    outside (0, 1). *)
+
+val clopper_pearson_upper : ?confidence:float -> successes:int -> trials:int -> unit -> float
+(** One-sided upper bound: [p <= bound] with the given coverage. *)
+
+val clopper_pearson_lower : ?confidence:float -> successes:int -> trials:int -> unit -> float
+(** One-sided lower bound. *)
+
+val mean_ci : ?confidence:float -> float array -> float * float
+(** Large-sample normal interval [x̄ ± z·s/√n]. Raises [Invalid_argument]
+    on fewer than 2 samples. *)
+
+val variance_ci : ?confidence:float -> float array -> float * float
+(** Chi-square interval for the population variance,
+    [(n−1)s²/χ²_{hi}, (n−1)s²/χ²_{lo}]. Raises [Invalid_argument] on fewer
+    than 2 samples. *)

@@ -1,0 +1,152 @@
+module G = QCheck.Gen
+
+let ( >>= ) = G.( >>= )
+module V = Dataset.Value
+module S = Dataset.Schema
+module P = Query.Predicate
+
+let attribute_name i = Printf.sprintf "a%d" i
+
+let kind = G.oneofl [ V.Kint; V.Kstring; V.Kbool ]
+
+let role =
+  G.oneofl [ S.Quasi_identifier; S.Sensitive; S.Insensitive ]
+
+let schema =
+  (G.int_range 1 5) >>= (fun arity ->
+      G.map
+        (fun specs ->
+          S.make
+            (List.mapi
+               (fun i (kind, role) -> { S.name = attribute_name i; kind; role })
+               specs))
+        (G.list_repeat arity (G.pair kind role)))
+
+(* A support of [size] distinct values of the attribute's kind. Bools cap
+   at two values. *)
+let support kind size =
+  match kind with
+  | V.Kbool -> List.init (min 2 size) (fun i -> V.Bool (i = 0))
+  | V.Kint -> List.init size (fun i -> V.Int i)
+  | V.Kstring -> List.init size (fun i -> V.String (Printf.sprintf "v%d" i))
+  | V.Kfloat -> List.init size (fun i -> V.Float (float_of_int i))
+  | V.Kdate ->
+    List.init size (fun i -> V.make_date ~year:(1970 + i) ~month:1 ~day:1)
+
+let model_of_schema sch =
+  let attrs = Array.to_list (S.attributes sch) in
+  G.map
+    (fun per_attr ->
+      Dataset.Model.make sch
+        (List.map2
+           (fun (a : S.attribute) (size, weights) ->
+             let values = support a.S.kind size in
+             let weights = List.filteri (fun i _ -> i < List.length values) weights in
+             ( a.S.name,
+               Prob.Distribution.of_weights
+                 (List.map2 (fun v w -> (v, w +. 0.05)) values weights) ))
+           attrs per_attr))
+    (G.list_repeat (List.length attrs)
+       (G.pair (G.int_range 2 5) (G.list_repeat 5 (G.float_bound_inclusive 5.))))
+
+let model = schema >>= model_of_schema
+
+let table_of_model ?(min_rows = 0) m =
+  G.map2
+    (fun seed rows ->
+      let rng = Prob.Rng.create ~seed () in
+      Dataset.Model.sample_table rng m rows)
+    (G.map Int64.of_int G.int)
+    (G.int_range min_rows 60)
+
+let model_table =
+  model >>= (fun m -> G.map (fun t -> (m, t)) (table_of_model m))
+
+let nonempty_model_table =
+  model >>= (fun m -> G.map (fun t -> (m, t)) (table_of_model ~min_rows:1 m))
+
+let atom m =
+  let sch = Dataset.Model.schema m in
+  let attrs = Array.to_list (S.attributes sch) in
+  let value_of (a : S.attribute) =
+    G.map
+      (fun i ->
+        let sup = Prob.Distribution.support (Dataset.Model.marginal m a.S.name) in
+        sup.(i mod Array.length sup))
+      (G.int_range 0 64)
+  in
+  let eq =
+    (G.oneofl attrs) >>= (fun a ->
+        G.map (fun v -> P.Eq (a.S.name, v)) (value_of a))
+  in
+  let member =
+    (G.oneofl attrs) >>= (fun a ->
+        G.map (fun vs -> P.Member (a.S.name, vs)) (G.list_size (G.int_range 0 3) (value_of a)))
+  in
+  let range =
+    let numeric =
+      List.filter (fun (a : S.attribute) -> a.S.kind = V.Kint || a.S.kind = V.Kbool) attrs
+    in
+    match numeric with
+    | [] -> eq
+    | _ ->
+      (G.oneofl numeric) >>= (fun a ->
+          G.map2
+            (fun lo w -> P.Range (a.S.name, lo, lo +. w))
+            (G.float_range (-1.) 5.)
+            (G.float_bound_inclusive 4.))
+  in
+  let hash =
+    G.map2
+      (fun buckets bucket ->
+        P.Hash_bucket { buckets; bucket = bucket mod buckets; salt = 7L })
+      (G.int_range 1 16) (G.int_range 0 64)
+  in
+  let hash_bit = G.map (fun index -> P.Hash_bit { index; salt = 3L }) (G.int_range 0 63) in
+  G.frequency [ (4, eq); (2, member); (2, range); (1, hash); (1, hash_bit) ]
+
+let predicate m =
+  let atom = G.map (fun a -> P.Atom a) (atom m) in
+  G.sized_size (G.int_range 0 3) @@ G.fix (fun self depth ->
+      if depth = 0 then G.frequency [ (8, atom); (1, G.return P.True); (1, G.return P.False) ]
+      else
+        G.frequency
+          [
+            (3, atom);
+            (2, G.map2 (fun a b -> P.And (a, b)) (self (depth - 1)) (self (depth - 1)));
+            (2, G.map2 (fun a b -> P.Or (a, b)) (self (depth - 1)) (self (depth - 1)));
+            (1, G.map (fun a -> P.Not a) (self (depth - 1)));
+          ])
+
+let model_table_predicate =
+  nonempty_model_table >>= (fun (m, t) ->
+      G.map (fun p -> (m, t, p)) (predicate m))
+
+let int_hierarchy =
+  (G.int_range 1 3) >>= (fun steps ->
+      G.map2
+        (fun base v ->
+          let widths =
+            List.init steps (fun i -> base * (1 lsl i))
+            (* strictly increasing positive widths *)
+          in
+          (Dataset.Hierarchy.int_ranges ~name:"h" ~lo:0 ~widths, v))
+        (G.int_range 1 4) (G.int_range 0 100))
+
+let kanon_table =
+  G.pair (G.int_range 2 4) (G.int_range 8 60) >>= (fun (qis, rows) ->
+      let attrs =
+        List.init qis (fun i ->
+            { S.name = Printf.sprintf "q%d" i; kind = V.Kint; role = S.Quasi_identifier })
+        @ [ { S.name = "payload"; kind = V.Kint; role = S.Sensitive } ]
+      in
+      let sch = S.make attrs in
+      G.map2
+        (fun seed domain ->
+          let rng = Prob.Rng.create ~seed () in
+          let row _ =
+            Array.init (qis + 1) (fun _ -> V.Int (Prob.Rng.int rng domain))
+          in
+          Dataset.Table.make sch (Array.init rows row))
+        (G.map Int64.of_int G.int)
+        (G.int_range 2 8))

@@ -1,0 +1,81 @@
+type result = { statistic : float; df : float; p_value : float }
+
+let chi_square_gof ~expected observed =
+  let k = Array.length observed in
+  if k <> Array.length expected then
+    invalid_arg "Stattest.Htest.chi_square_gof: length mismatch";
+  if k < 2 then invalid_arg "Stattest.Htest.chi_square_gof: need >= 2 cells";
+  let total_expected = Array.fold_left ( +. ) 0. expected in
+  if total_expected <= 0. then
+    invalid_arg "Stattest.Htest.chi_square_gof: expected counts must sum to > 0";
+  let stat = ref 0. in
+  let dead_cells = ref 0 in
+  let impossible = ref false in
+  Array.iteri
+    (fun i e ->
+      let o = float_of_int observed.(i) in
+      if e < 1e-9 then begin
+        (* A zero-probability cell contributes no degree of freedom; any
+           observation there is an outright refutation. *)
+        incr dead_cells;
+        if observed.(i) > 0 then impossible := true
+      end
+      else stat := !stat +. (((o -. e) ** 2.) /. e))
+    expected;
+  let df = float_of_int (k - 1 - !dead_cells) in
+  let p_value =
+    if !impossible then 0.
+    else if df < 1. then 1.
+    else 1. -. Special.chi_square_cdf ~df !stat
+  in
+  { statistic = !stat; df; p_value }
+
+let chi_square_uniform observed =
+  let k = Array.length observed in
+  if k < 2 then invalid_arg "Stattest.Htest.chi_square_uniform: need >= 2 cells";
+  let total = Array.fold_left ( + ) 0 observed in
+  let e = float_of_int total /. float_of_int k in
+  chi_square_gof ~expected:(Array.make k e) observed
+
+let ks_lambda ~neff d = ((Float.sqrt neff +. 0.12) +. (0.11 /. Float.sqrt neff)) *. d
+
+let ks_one_sample ~cdf xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stattest.Htest.ks_one_sample: empty sample";
+  let sorted = Array.copy xs in
+  Array.sort Float.compare sorted;
+  let fn = float_of_int n in
+  let d = ref 0. in
+  Array.iteri
+    (fun i x ->
+      let f = cdf x in
+      let above = (float_of_int (i + 1) /. fn) -. f in
+      let below = f -. (float_of_int i /. fn) in
+      d := Float.max !d (Float.max above below))
+    sorted;
+  { statistic = !d; df = 0.; p_value = Special.ks_survival (ks_lambda ~neff:fn !d) }
+
+let ks_two_sample xs ys =
+  let n1 = Array.length xs and n2 = Array.length ys in
+  if n1 = 0 || n2 = 0 then invalid_arg "Stattest.Htest.ks_two_sample: empty sample";
+  let a = Array.copy xs and b = Array.copy ys in
+  Array.sort Float.compare a;
+  Array.sort Float.compare b;
+  let fa = 1. /. float_of_int n1 and fb = 1. /. float_of_int n2 in
+  let d = ref 0. in
+  let i = ref 0 and j = ref 0 in
+  let ca = ref 0. and cb = ref 0. in
+  while !i < n1 && !j < n2 do
+    let va = a.(!i) and vb = b.(!j) in
+    if va <= vb then begin
+      ca := !ca +. fa;
+      incr i
+    end;
+    if vb <= va then begin
+      cb := !cb +. fb;
+      incr j
+    end;
+    d := Float.max !d (Float.abs (!ca -. !cb))
+  done;
+  let neff = float_of_int n1 *. float_of_int n2 /. float_of_int (n1 + n2) in
+  { statistic = !d; df = 0.; p_value = Special.ks_survival (ks_lambda ~neff !d) }

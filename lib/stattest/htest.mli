@@ -1,0 +1,27 @@
+(** Hypothesis tests: chi-square goodness of fit and Kolmogorov–Smirnov.
+    Each returns the test statistic and an (asymptotic) p-value; assertion
+    wrappers live in {!Check}. *)
+
+type result = {
+  statistic : float;
+  df : float;  (** degrees of freedom (0 for KS) *)
+  p_value : float;
+}
+
+val chi_square_gof : expected:float array -> int array -> result
+(** Pearson chi-square against the expected cell counts. Cells with
+    expected count below 1e-9 must be empty ([p_value] is 0 otherwise).
+    Raises [Invalid_argument] on a length mismatch, fewer than 2 cells, or
+    non-positive total expectation. *)
+
+val chi_square_uniform : int array -> result
+(** Goodness of fit against the uniform distribution over the cells. *)
+
+val ks_one_sample : cdf:(float -> float) -> float array -> result
+(** One-sample Kolmogorov–Smirnov against a continuous CDF, with the usual
+    finite-sample correction [λ = (√n + 0.12 + 0.11/√n) D]. Raises
+    [Invalid_argument] on an empty sample. *)
+
+val ks_two_sample : float array -> float array -> result
+(** Two-sample Kolmogorov–Smirnov with effective size [n₁n₂/(n₁+n₂)].
+    Raises [Invalid_argument] if either sample is empty. *)

@@ -1,0 +1,212 @@
+(* Numerical-Recipes-style implementations; every function is pure and
+   deterministic, so the assertions built on them are too. *)
+
+let pi = 4. *. Float.atan 1.
+
+(* Lanczos, g = 7, 9 coefficients. *)
+let lanczos =
+  [|
+    0.99999999999980993;
+    676.5203681218851;
+    -1259.1392167224028;
+    771.32342877765313;
+    -176.61502916214059;
+    12.507343278686905;
+    -0.13857109526572012;
+    9.9843695780195716e-6;
+    1.5056327351493116e-7;
+  |]
+
+let rec log_gamma x =
+  if Float.is_nan x then invalid_arg "Stattest.Special.log_gamma: nan";
+  if x < 0.5 then
+    (* Reflection: Γ(x) Γ(1-x) = π / sin(πx). *)
+    Float.log (pi /. Float.sin (pi *. x)) -. log_gamma (1. -. x)
+  else begin
+    let x = x -. 1. in
+    let acc = ref lanczos.(0) in
+    for i = 1 to 8 do
+      acc := !acc +. (lanczos.(i) /. (x +. float_of_int i))
+    done;
+    let t = x +. 7.5 in
+    (0.5 *. Float.log (2. *. pi))
+    +. ((x +. 0.5) *. Float.log t)
+    -. t
+    +. Float.log !acc
+  end
+
+let max_iter = 700
+
+let eps = 1e-15
+
+let tiny = 1e-300
+
+let gamma_p ~a x =
+  if a <= 0. then invalid_arg "Stattest.Special.gamma_p: a must be positive";
+  if x < 0. then invalid_arg "Stattest.Special.gamma_p: x must be >= 0";
+  if x = 0. then 0.
+  else if x < a +. 1. then begin
+    (* Series for P(a, x). *)
+    let ap = ref a in
+    let term = ref (1. /. a) in
+    let sum = ref !term in
+    (try
+       for _ = 1 to max_iter do
+         ap := !ap +. 1.;
+         term := !term *. x /. !ap;
+         sum := !sum +. !term;
+         if Float.abs !term < Float.abs !sum *. eps then raise Exit
+       done
+     with Exit -> ());
+    !sum *. Float.exp (-.x +. (a *. Float.log x) -. log_gamma a)
+  end
+  else begin
+    (* Lentz continued fraction for Q(a, x). *)
+    let b = ref (x +. 1. -. a) in
+    let c = ref (1. /. tiny) in
+    let d = ref (1. /. !b) in
+    let h = ref !d in
+    (try
+       for i = 1 to max_iter do
+         let an = -.float_of_int i *. (float_of_int i -. a) in
+         b := !b +. 2.;
+         d := (an *. !d) +. !b;
+         if Float.abs !d < tiny then d := tiny;
+         c := !b +. (an /. !c);
+         if Float.abs !c < tiny then c := tiny;
+         d := 1. /. !d;
+         let delta = !d *. !c in
+         h := !h *. delta;
+         if Float.abs (delta -. 1.) < eps then raise Exit
+       done
+     with Exit -> ());
+    1. -. (Float.exp (-.x +. (a *. Float.log x) -. log_gamma a) *. !h)
+  end
+
+(* Lentz continued fraction for the incomplete beta (NR betacf). *)
+let beta_cf a b x =
+  let qab = a +. b and qap = a +. 1. and qam = a -. 1. in
+  let c = ref 1. in
+  let d = ref (1. -. (qab *. x /. qap)) in
+  if Float.abs !d < tiny then d := tiny;
+  d := 1. /. !d;
+  let h = ref !d in
+  (try
+     for m = 1 to max_iter do
+       let fm = float_of_int m in
+       let m2 = 2. *. fm in
+       let aa = fm *. (b -. fm) *. x /. ((qam +. m2) *. (a +. m2)) in
+       d := 1. +. (aa *. !d);
+       if Float.abs !d < tiny then d := tiny;
+       c := 1. +. (aa /. !c);
+       if Float.abs !c < tiny then c := tiny;
+       d := 1. /. !d;
+       h := !h *. !d *. !c;
+       let aa =
+         -.(a +. fm) *. (qab +. fm) *. x /. ((a +. m2) *. (qap +. m2))
+       in
+       d := 1. +. (aa *. !d);
+       if Float.abs !d < tiny then d := tiny;
+       c := 1. +. (aa /. !c);
+       if Float.abs !c < tiny then c := tiny;
+       d := 1. /. !d;
+       let delta = !d *. !c in
+       h := !h *. delta;
+       if Float.abs (delta -. 1.) < eps then raise Exit
+     done
+   with Exit -> ());
+  !h
+
+let inc_beta ~a ~b x =
+  if a <= 0. || b <= 0. then
+    invalid_arg "Stattest.Special.inc_beta: a and b must be positive";
+  if x < 0. || x > 1. then
+    invalid_arg "Stattest.Special.inc_beta: x must be in [0, 1]";
+  if x = 0. then 0.
+  else if x = 1. then 1.
+  else begin
+    let log_bt =
+      log_gamma (a +. b) -. log_gamma a -. log_gamma b
+      +. (a *. Float.log x)
+      +. (b *. Float.log1p (-.x))
+    in
+    let bt = Float.exp log_bt in
+    if x < (a +. 1.) /. (a +. b +. 2.) then bt *. beta_cf a b x /. a
+    else 1. -. (bt *. beta_cf b a (1. -. x) /. b)
+  end
+
+let erf x =
+  if x = 0. then 0.
+  else begin
+    let p = gamma_p ~a:0.5 (x *. x) in
+    if x > 0. then p else -.p
+  end
+
+let normal_cdf x = 0.5 *. (1. +. erf (x /. Float.sqrt 2.))
+
+let bisect ~f ~lo ~hi target =
+  let lo = ref lo and hi = ref hi in
+  for _ = 1 to 200 do
+    let mid = 0.5 *. (!lo +. !hi) in
+    if f mid < target then lo := mid else hi := mid
+  done;
+  0.5 *. (!lo +. !hi)
+
+let normal_quantile p =
+  if p <= 0. || p >= 1. then
+    invalid_arg "Stattest.Special.normal_quantile: p must be in (0, 1)";
+  bisect ~f:normal_cdf ~lo:(-40.) ~hi:40. p
+
+let chi_square_cdf ~df x =
+  if df <= 0. then invalid_arg "Stattest.Special.chi_square_cdf: df";
+  if x <= 0. then 0. else gamma_p ~a:(df /. 2.) (x /. 2.)
+
+let chi_square_quantile ~df p =
+  if p <= 0. || p >= 1. then
+    invalid_arg "Stattest.Special.chi_square_quantile: p must be in (0, 1)";
+  (* Expand the bracket until it contains the quantile, then bisect. *)
+  let hi = ref (Float.max 1. (2. *. df)) in
+  while chi_square_cdf ~df !hi < p do
+    hi := !hi *. 2.
+  done;
+  bisect ~f:(chi_square_cdf ~df) ~lo:0. ~hi:!hi p
+
+let beta_quantile ~a ~b p =
+  if p < 0. || p > 1. then
+    invalid_arg "Stattest.Special.beta_quantile: p must be in [0, 1]";
+  if p = 0. then 0.
+  else if p = 1. then 1.
+  else bisect ~f:(inc_beta ~a ~b) ~lo:0. ~hi:1. p
+
+let ks_survival lambda =
+  if lambda <= 0. then 1.
+  else if lambda < 0.3 then begin
+    (* The alternating series converges hopelessly slowly as lambda -> 0;
+       use the Jacobi-theta dual expansion
+       Q = 1 - (sqrt(2 pi)/lambda) * sum exp(-(2k-1)^2 pi^2 / (8 lambda^2)),
+       whose first term already dominates below 0.3. *)
+    let sum = ref 0. in
+    for k = 1 to 20 do
+      let odd = float_of_int ((2 * k) - 1) in
+      sum :=
+        !sum
+        +. Float.exp
+             (-.(odd *. odd) *. Float.pi *. Float.pi /. (8. *. lambda *. lambda))
+    done;
+    Float.min 1.
+      (Float.max 0. (1. -. (Float.sqrt (2. *. Float.pi) /. lambda *. !sum)))
+  end
+  else begin
+    let sum = ref 0. in
+    let sign = ref 1. in
+    (try
+       for k = 1 to 100 do
+         let fk = float_of_int k in
+         let term = Float.exp (-2. *. fk *. fk *. lambda *. lambda) in
+         sum := !sum +. (!sign *. term);
+         sign := -. !sign;
+         if term < 1e-18 then raise Exit
+       done
+     with Exit -> ());
+    Float.min 1. (Float.max 0. (2. *. !sum))
+  end

@@ -1,0 +1,43 @@
+(** Special functions underlying the interval estimates and hypothesis
+    tests: log-gamma, the regularized incomplete gamma and beta functions,
+    and the distribution functions derived from them. Accuracy targets are
+    testing-grade (relative error well under 1e-10 over the parameter
+    ranges the harness uses), not libm-grade. *)
+
+val log_gamma : float -> float
+(** Lanczos approximation of [ln Γ(x)] for [x > 0] (reflection below 0.5).
+    Raises [Invalid_argument] for non-positive integers and [x <= 0] poles
+    reached through reflection are not protected — callers pass positive
+    arguments. *)
+
+val gamma_p : a:float -> float -> float
+(** Regularized lower incomplete gamma [P(a, x) = γ(a,x)/Γ(a)] for [a > 0],
+    [x >= 0]; series expansion below [a + 1], Lentz continued fraction
+    above. *)
+
+val inc_beta : a:float -> b:float -> float -> float
+(** Regularized incomplete beta [I_x(a, b)] for [a, b > 0] and
+    [x ∈ [0, 1]]. *)
+
+val erf : float -> float
+(** Error function via [P(1/2, x²)]. *)
+
+val normal_cdf : float -> float
+(** Standard normal CDF [Φ]. *)
+
+val normal_quantile : float -> float
+(** [Φ⁻¹] on (0, 1), by bisection on {!normal_cdf}. Raises
+    [Invalid_argument] outside (0, 1). *)
+
+val chi_square_cdf : df:float -> float -> float
+(** CDF of the chi-square distribution with [df > 0] degrees of freedom. *)
+
+val chi_square_quantile : df:float -> float -> float
+(** Inverse chi-square CDF on (0, 1), by expanding bisection. *)
+
+val beta_quantile : a:float -> b:float -> float -> float
+(** Inverse of [I_x(a, b)] on [0, 1], by bisection. *)
+
+val ks_survival : float -> float
+(** The Kolmogorov distribution's survival function
+    [Q(λ) = 2 Σ_{k≥1} (−1)^{k−1} exp(−2k²λ²)], clamped to [0, 1]. *)

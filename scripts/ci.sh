@@ -1,9 +1,14 @@
 #!/usr/bin/env bash
-# Tier-1 gate plus a parallel-determinism smoke test:
-#   1. dune build && dune runtest
+# Tier-1 gate plus end-to-end smoke tests:
+#   1. dune build && dune runtest (includes the golden-table diff and the
+#      stattest/property/CLI suites)
 #   2. quick-scale E2 tables must be byte-identical at --jobs 1 and --jobs 2
 #      (the per-trial RNG fan-out guarantee, checked end to end through the
-#      bench harness).
+#      bench harness)
+#   3. golden-table regression: the committed test/golden/*.txt snapshots
+#      must match a fresh render (test/test_golden.exe check mode)
+#   4. negative-auditor smoke: the ε-DP auditor must flag the deliberately
+#      broken Laplace variant (exit 1), proving the audit has power
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -23,4 +28,23 @@ if ! diff -u "$tmp1" "$tmp2"; then
   exit 1
 fi
 
-echo "ci: ok (build + tests + jobs-determinism smoke)"
+# Golden-table regression (also part of dune runtest; rerun standalone so a
+# mismatch is reported with the regeneration instructions even if the test
+# suite was filtered).
+dune exec test/test_golden.exe
+
+# The auditor must have power: a mechanism at half the required noise scale
+# has to be flagged (nonzero exit). A zero exit here means the DP audit is
+# vacuous and every "pass" above it is meaningless.
+if dune exec bin/pso_audit.exe -- dpcheck --mechanism broken-laplace --trials 20000 > "$tmp1" 2>&1; then
+  echo "ci: negative-control failure: auditor did not flag broken-laplace" >&2
+  cat "$tmp1" >&2
+  exit 1
+fi
+if ! grep -q VIOLATION "$tmp1"; then
+  echo "ci: broken-laplace run failed without certifying a violation" >&2
+  cat "$tmp1" >&2
+  exit 1
+fi
+
+echo "ci: ok (build + tests + jobs-determinism + golden tables + negative auditor)"

@@ -1,0 +1,173 @@
+(* End-to-end CLI coverage: bin/pso_audit.exe and bench/main.exe are
+   spawned as child processes, checking both the happy paths and the
+   contract that bad invocations exit nonzero with usage on stderr.
+   (cmdliner reports CLI errors with status 124; hand-rolled validation in
+   both binaries uses status 2.) *)
+
+let exe names =
+  (* dune runtest runs from _build/default/test with the binaries staged a
+     level up; fall back to repo-root paths for manual `dune exec`. *)
+  let candidates =
+    [
+      List.fold_left Filename.concat ".." names;
+      List.fold_left Filename.concat (Filename.concat "_build" "default") names;
+    ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> p
+  | None -> Alcotest.failf "binary not found: %s" (String.concat "/" names)
+
+let pso_audit args = (exe [ "bin"; "pso_audit.exe" ], args)
+
+let bench args = (exe [ "bench"; "main.exe" ], args)
+
+type outcome = { code : int; stdout : string; stderr : string }
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let run (binary, args) =
+  let out = Filename.temp_file "cli" ".out" in
+  let err = Filename.temp_file "cli" ".err" in
+  let cmd =
+    Printf.sprintf "%s %s > %s 2> %s" (Filename.quote binary)
+      (String.concat " " (List.map Filename.quote args))
+      (Filename.quote out) (Filename.quote err)
+  in
+  let code = Sys.command cmd in
+  let result = { code; stdout = read_file out; stderr = read_file err } in
+  Sys.remove out;
+  Sys.remove err;
+  result
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  nn = 0
+  ||
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+let check_fails_with_usage name invocation ~code =
+  let r = run invocation in
+  Alcotest.(check int) (name ^ " exit code") code r.code;
+  Alcotest.(check bool)
+    (name ^ " prints usage on stderr")
+    true
+    (contains (String.lowercase_ascii r.stderr) "usage")
+
+(* --- pso_audit: bad invocations --- *)
+
+let test_pso_audit_bad_invocations () =
+  check_fails_with_usage "no subcommand" (pso_audit []) ~code:124;
+  check_fails_with_usage "unknown subcommand" (pso_audit [ "frobnicate" ]) ~code:124;
+  check_fails_with_usage "unknown option" (pso_audit [ "synth"; "--frob" ]) ~code:124;
+  check_fails_with_usage "missing positional" (pso_audit [ "experiment" ]) ~code:124;
+  check_fails_with_usage "non-integer trials"
+    (pso_audit [ "game"; "--trials"; "many" ])
+    ~code:124
+
+let test_pso_audit_validation_errors () =
+  let check name args ~stderr_has =
+    let r = run (pso_audit args) in
+    Alcotest.(check int) (name ^ " exits 2") 2 r.code;
+    Alcotest.(check bool)
+      (name ^ " explains itself")
+      true
+      (contains r.stderr stderr_has)
+  in
+  check "jobs zero" [ "game"; "--jobs"; "0" ] ~stderr_has:"--jobs must be >= 1";
+  check "negative jobs" [ "theorems"; "--jobs=-3" ] ~stderr_has:"--jobs must be >= 1";
+  check "unknown experiment" [ "experiment"; "E99" ] ~stderr_has:"unknown experiment";
+  check "dpcheck bad trials" [ "dpcheck"; "--trials"; "0" ]
+    ~stderr_has:"--trials must be >= 1";
+  check "dpcheck bad confidence" [ "dpcheck"; "--confidence"; "1.5" ]
+    ~stderr_has:"--confidence must be in (0, 1)";
+  check "dpcheck unknown mechanism" [ "dpcheck"; "--mechanism"; "nope" ]
+    ~stderr_has:"unknown mechanism";
+  check "dpcheck bad battery" [ "dpcheck"; "--battery"; "weird" ]
+    ~stderr_has:"--battery must be"
+
+let test_pso_audit_synth () =
+  let r = run (pso_audit [ "synth"; "--size"; "12"; "--seed"; "7" ]) in
+  Alcotest.(check int) "synth exits 0" 0 r.code;
+  let lines = String.split_on_char '\n' (String.trim r.stdout) in
+  Alcotest.(check int) "header plus 12 rows" 13 (List.length lines);
+  let r' = run (pso_audit [ "synth"; "--size"; "12"; "--seed"; "7" ]) in
+  Alcotest.(check string) "same seed, same CSV" r.stdout r'.stdout
+
+let test_pso_audit_experiment_jobs_invariance () =
+  let render jobs =
+    run (pso_audit [ "experiment"; "E2"; "--seed"; "5"; "--jobs"; string_of_int jobs ])
+  in
+  let r1 = render 1 and r2 = render 2 in
+  Alcotest.(check int) "jobs=1 exits 0" 0 r1.code;
+  Alcotest.(check int) "jobs=2 exits 0" 0 r2.code;
+  Alcotest.(check bool) "table rendered" true (contains r1.stdout "E2");
+  Alcotest.(check string) "table identical across jobs" r1.stdout r2.stdout
+
+let test_pso_audit_dpcheck_passes_standard_case () =
+  let r =
+    run (pso_audit [ "dpcheck"; "--mechanism"; "laplace"; "--trials"; "8000" ]) in
+  Alcotest.(check int) "laplace passes" 0 r.code;
+  Alcotest.(check bool) "report printed" true (contains r.stdout "laplace");
+  Alcotest.(check bool) "no case flagged" true (contains r.stdout "0/1")
+
+let test_pso_audit_dpcheck_flags_broken_case () =
+  let r =
+    run
+      (pso_audit
+         [ "dpcheck"; "--mechanism"; "broken-laplace"; "--trials"; "20000" ])
+  in
+  Alcotest.(check int) "broken-laplace flagged" 1 r.code;
+  Alcotest.(check bool) "violation certified" true (contains r.stdout "VIOLATION")
+
+(* --- bench --- *)
+
+let test_bench_bad_invocations () =
+  check_fails_with_usage "bench unknown option" (bench [ "--frob" ]) ~code:2;
+  check_fails_with_usage "bench anonymous argument" (bench [ "E2" ]) ~code:2;
+  check_fails_with_usage "bench jobs zero" (bench [ "--jobs"; "0" ]) ~code:2;
+  let r = run (bench [ "--only"; "E99" ]) in
+  Alcotest.(check int) "bench unknown --only exits 2" 2 r.code;
+  Alcotest.(check bool) "error names the id" true (contains r.stderr "E99");
+  Alcotest.(check bool) "error lists valid ids" true (contains r.stderr "E13")
+
+let test_bench_only_tables () =
+  let r = run (bench [ "--only"; "E2"; "--no-perf"; "--jobs"; "1" ]) in
+  Alcotest.(check int) "tables-only run exits 0" 0 r.code;
+  Alcotest.(check bool) "renders the experiment" true (contains r.stdout "E2");
+  Alcotest.(check bool) "skips other experiments" false (contains r.stdout "E7")
+
+let test_bench_speedup_determinism () =
+  let r =
+    run (bench [ "--speedup"; "--only"; "E2"; "--no-perf"; "--jobs"; "2" ])
+  in
+  Alcotest.(check int) "speedup run exits 0" 0 r.code;
+  Alcotest.(check bool) "tables compared identical" true
+    (contains r.stdout "tables identical")
+
+let () =
+  Alcotest.run "cli"
+    [
+      ( "pso_audit",
+        [
+          Alcotest.test_case "bad invocations" `Quick test_pso_audit_bad_invocations;
+          Alcotest.test_case "validation errors" `Quick test_pso_audit_validation_errors;
+          Alcotest.test_case "synth determinism" `Quick test_pso_audit_synth;
+          Alcotest.test_case "experiment jobs invariance" `Slow
+            test_pso_audit_experiment_jobs_invariance;
+          Alcotest.test_case "dpcheck standard passes" `Slow
+            test_pso_audit_dpcheck_passes_standard_case;
+          Alcotest.test_case "dpcheck broken flagged" `Slow
+            test_pso_audit_dpcheck_flags_broken_case;
+        ] );
+      ( "bench",
+        [
+          Alcotest.test_case "bad invocations" `Quick test_bench_bad_invocations;
+          Alcotest.test_case "tables only" `Slow test_bench_only_tables;
+          Alcotest.test_case "speedup determinism" `Slow test_bench_speedup_determinism;
+        ] );
+    ]

@@ -1,0 +1,118 @@
+(* Golden-table regression harness for the experiment suite.
+
+   Every E1..E13 table is rendered at Quick scale from the bench harness's
+   exact specification — [Parallel.Pool.set_default_jobs], then a fresh
+   generator seeded 20210621 — and compared byte-for-byte against the
+   checked-in snapshot in test/golden/. Each table is rendered at jobs = 1,
+   2 and 4, so the suite simultaneously pins the numbers (any change to a
+   mechanism, sampler or experiment shows up as a diff) and the
+   determinism contract (the rendering is byte-identical at every pool
+   size).
+
+   Regenerating after an intentional change:
+
+     dune exec test/test_golden.exe -- update     # from the repo root
+
+   then review the diff like any other code change. *)
+
+let seed = 20210621L
+
+let render (e : Experiments.Registry.entry) ~jobs =
+  Parallel.Pool.set_default_jobs jobs;
+  let rng = Prob.Rng.create ~seed () in
+  let buf = Buffer.create 4096 in
+  let fmt = Format.formatter_of_buffer buf in
+  e.Experiments.Registry.print ~scale:Experiments.Common.Quick rng fmt;
+  Format.pp_print_flush fmt ();
+  Buffer.contents buf
+
+(* Under `dune runtest` the cwd is _build/default/test and the snapshots
+   are staged at golden/ by the dune deps; under `dune exec` from the repo
+   root they live at test/golden. *)
+let golden_dir () =
+  if Sys.file_exists "golden" && Sys.is_directory "golden" then "golden"
+  else Filename.concat "test" "golden"
+
+let golden_path e =
+  Filename.concat (golden_dir ()) (e.Experiments.Registry.id ^ ".txt")
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc
+
+let first_diff a b =
+  let la = String.split_on_char '\n' a and lb = String.split_on_char '\n' b in
+  let rec go i la lb =
+    match (la, lb) with
+    | [], [] -> None
+    | x :: la, y :: lb -> if String.equal x y then go (i + 1) la lb else Some (i, x, y)
+    | x :: _, [] -> Some (i, x, "<missing>")
+    | [], y :: _ -> Some (i, "<missing>", y)
+  in
+  go 1 la lb
+
+let update () =
+  let dir = golden_dir () in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  List.iter
+    (fun (e : Experiments.Registry.entry) ->
+      write_file (golden_path e) (render e ~jobs:1);
+      Printf.printf "wrote %s\n%!" (golden_path e))
+    Experiments.Registry.all
+
+let check () =
+  let failures = ref 0 in
+  List.iter
+    (fun (e : Experiments.Registry.entry) ->
+      let id = e.Experiments.Registry.id in
+      let path = golden_path e in
+      if not (Sys.file_exists path) then begin
+        incr failures;
+        Printf.printf
+          "[FAIL] %s: no golden snapshot at %s (run: dune exec test/test_golden.exe -- update)\n%!"
+          id path
+      end
+      else begin
+        let expected = read_file path in
+        List.iter
+          (fun jobs ->
+            let actual = render e ~jobs in
+            if String.equal expected actual then
+              Printf.printf "[OK]   %s jobs=%d\n%!" id jobs
+            else begin
+              incr failures;
+              (match first_diff expected actual with
+              | Some (line, want, got) ->
+                Printf.printf
+                  "[FAIL] %s jobs=%d differs from %s at line %d\n  golden: %s\n  actual: %s\n%!"
+                  id jobs path line want got
+              | None ->
+                Printf.printf "[FAIL] %s jobs=%d differs from %s (length)\n%!" id jobs path)
+            end)
+          [ 1; 2; 4 ]
+      end)
+    Experiments.Registry.all;
+  if !failures > 0 then begin
+    Printf.printf
+      "%d golden mismatch(es); if the change is intentional, regenerate with\n\
+      \  dune exec test/test_golden.exe -- update\n\
+       and review the diff.\n%!"
+      !failures;
+    exit 1
+  end
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: "update" :: _ -> update ()
+  | [ _ ] -> check ()
+  | _ ->
+    prerr_endline "usage: test_golden.exe [update]";
+    exit 2

@@ -1,6 +1,10 @@
 (* Tests for the prob substrate: RNG determinism and uniformity, discrete
    distributions, samplers (moment checks), statistics, hashing, decay
-   classification. *)
+   classification. Statistical claims are asserted through Stattest.Check
+   confidence intervals rather than hand-picked tolerances; `close` remains
+   only for deterministic quantities with an exact analytic value. *)
+
+module Ck = Stattest.Check
 
 let rng () = Prob.Rng.create ~seed:12345L ()
 
@@ -41,9 +45,7 @@ let test_rng_int_uniform () =
     let v = Prob.Rng.int r 5 in
     counts.(v) <- counts.(v) + 1
   done;
-  Array.iter
-    (fun c -> close ~tol:0.01 "bucket frequency" 0.2 (float_of_int c /. float_of_int trials))
-    counts
+  Ck.uniform "rng int over 5 buckets" counts
 
 let test_rng_int_invalid () =
   Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound must be positive")
@@ -132,7 +134,7 @@ let test_dist_sampling_frequencies () =
   for _ = 1 to trials do
     if Prob.Distribution.sample r d = 1 then incr ones
   done;
-  close ~tol:0.01 "sampled frequency" 0.3 (float_of_int !ones /. float_of_int trials)
+  Ck.proportion ~expected:0.3 "sampled frequency" ~successes:!ones ~trials
 
 let test_dist_entropy_uniform () =
   let d = Prob.Distribution.uniform [ 0; 1; 2; 3 ] in
@@ -172,52 +174,70 @@ let test_dist_zipf_monotone () =
 
 (* --- Sampler --- *)
 
-let moments sample count =
+let draws sample count =
   let r = rng () in
-  let xs = Array.init count (fun _ -> sample r) in
-  (Prob.Stats.mean xs, Prob.Stats.variance xs)
+  Array.init count (fun _ -> sample r)
+
+(* The second moment is checked as a mean of squares: the CLT interval in
+   Ck.mean is valid for any finite-variance population, whereas Ck.variance's
+   chi-square interval assumes normal data (used below only for the
+   gaussian sampler, where it is exact). *)
 
 let test_laplace_moments () =
-  let mean, var = moments (fun r -> Prob.Sampler.laplace r ~scale:2.) 100_000 in
-  close ~tol:0.05 "laplace mean" 0. mean;
-  (* Var = 2 b^2 = 8 *)
-  close ~tol:0.3 "laplace variance" 8. var
+  let xs = draws (fun r -> Prob.Sampler.laplace r ~scale:2.) 100_000 in
+  Ck.mean ~expected:0. "laplace mean" xs;
+  (* E[X^2] = Var = 2 b^2 = 8 *)
+  Ck.mean ~expected:8. "laplace second moment" (Array.map (fun x -> x *. x) xs);
+  let cdf x =
+    if x < 0. then 0.5 *. Float.exp (x /. 2.)
+    else 1. -. (0.5 *. Float.exp (-.x /. 2.))
+  in
+  Ck.ks_cdf ~cdf "laplace distribution shape" xs
 
 let test_gaussian_moments () =
-  let mean, var = moments (fun r -> Prob.Sampler.gaussian r ~mean:3. ~std:2.) 100_000 in
-  close ~tol:0.05 "gaussian mean" 3. mean;
-  close ~tol:0.15 "gaussian variance" 4. var
+  let xs = draws (fun r -> Prob.Sampler.gaussian r ~mean:3. ~std:2.) 100_000 in
+  Ck.mean ~expected:3. "gaussian mean" xs;
+  Ck.variance ~expected:4. "gaussian variance" xs;
+  Ck.ks_cdf
+    ~cdf:(fun x -> Stattest.Special.normal_cdf ((x -. 3.) /. 2.))
+    "gaussian distribution shape" xs
 
 let test_exponential_mean () =
-  let mean, _ = moments (fun r -> Prob.Sampler.exponential r ~rate:4.) 100_000 in
-  close ~tol:0.01 "exponential mean" 0.25 mean
+  let xs = draws (fun r -> Prob.Sampler.exponential r ~rate:4.) 100_000 in
+  Ck.mean ~expected:0.25 "exponential mean" xs;
+  Ck.ks_cdf
+    ~cdf:(fun x -> if x < 0. then 0. else 1. -. Float.exp (-4. *. x))
+    "exponential distribution shape" xs
 
 let test_geometric_mean () =
-  let mean, _ =
-    moments (fun r -> float_of_int (Prob.Sampler.geometric r ~p:0.25)) 100_000
-  in
+  let xs = draws (fun r -> float_of_int (Prob.Sampler.geometric r ~p:0.25)) 100_000 in
   (* E = (1-p)/p = 3 *)
-  close ~tol:0.1 "geometric mean" 3. mean
+  Ck.mean ~expected:3. "geometric mean" xs
 
 let test_two_sided_geometric_symmetric () =
-  let mean, _ =
-    moments
-      (fun r -> float_of_int (Prob.Sampler.two_sided_geometric r ~alpha:0.5))
-      100_000
+  let xs =
+    draws (fun r -> float_of_int (Prob.Sampler.two_sided_geometric r ~alpha:0.5)) 100_000
   in
-  close ~tol:0.05 "two-sided geometric mean" 0. mean
+  Ck.mean ~expected:0. "two-sided geometric mean" xs;
+  (* E[K^2] = Var = 2 alpha / (1 - alpha)^2 = 4 at alpha = 1/2 *)
+  Ck.mean ~expected:4. "two-sided geometric second moment"
+    (Array.map (fun x -> x *. x) xs)
 
 let test_bernoulli_frequency () =
-  let mean, _ =
-    moments (fun r -> if Prob.Sampler.bernoulli r ~p:0.3 then 1. else 0.) 100_000
-  in
-  close ~tol:0.01 "bernoulli frequency" 0.3 mean
+  let r = rng () in
+  let trials = 100_000 in
+  let successes = ref 0 in
+  for _ = 1 to trials do
+    if Prob.Sampler.bernoulli r ~p:0.3 then incr successes
+  done;
+  Ck.proportion ~expected:0.3 "bernoulli frequency" ~successes:!successes ~trials
 
 let test_binomial_mean () =
-  let mean, _ =
-    moments (fun r -> float_of_int (Prob.Sampler.binomial r ~n:20 ~p:0.5)) 20_000
-  in
-  close ~tol:0.1 "binomial mean" 10. mean
+  let xs = draws (fun r -> float_of_int (Prob.Sampler.binomial r ~n:20 ~p:0.5)) 20_000 in
+  Ck.mean ~expected:10. "binomial mean" xs;
+  (* E[(X - np)^2] = np(1-p) = 5; mean known exactly, so CLT applies. *)
+  Ck.mean ~expected:5. "binomial spread"
+    (Array.map (fun x -> (x -. 10.) *. (x -. 10.)) xs)
 
 let test_sampler_invalid_args () =
   let r = rng () in
@@ -282,16 +302,14 @@ let test_hash_bucket_uniform () =
     let b = Prob.Hashing.bucket ~salt:99L ~buckets (string_of_int i) in
     counts.(b) <- counts.(b) + 1
   done;
-  Array.iter
-    (fun c -> close ~tol:0.02 "bucket frequency" 0.1 (float_of_int c /. 10_000.))
-    counts
+  Ck.uniform "hash bucket frequencies" counts
 
 let test_hash_bit_balance () =
   let ones = ref 0 in
   for i = 0 to 9999 do
     if Prob.Hashing.bit ~salt:5L ~index:17 (string_of_int i) then incr ones
   done;
-  close ~tol:0.02 "bit balance" 0.5 (float_of_int !ones /. 10_000.)
+  Ck.proportion ~expected:0.5 "bit balance" ~successes:!ones ~trials:10_000
 
 (* --- Decay --- *)
 

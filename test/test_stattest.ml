@@ -1,0 +1,259 @@
+(* Tests for the statistical verification harness itself: special-function
+   values against known constants, interval coverage endpoints, hypothesis
+   tests on synthetic data, and the eps-DP auditor — which must pass every
+   lib/dp mechanism at its claimed epsilon AND flag every deliberately
+   broken variant (the negative controls that make the harness evidence
+   rather than decoration). *)
+
+module Sp = Stattest.Special
+module Ci = Stattest.Ci
+module Ht = Stattest.Htest
+module Ck = Stattest.Check
+module Audit = Stattest.Dp_audit
+
+let close ?(tol = 1e-6) msg expected actual =
+  if Float.abs (expected -. actual) > tol then
+    Alcotest.failf "%s: expected %.10g within %g, got %.10g" msg expected tol actual
+
+let rng seed = Prob.Rng.create ~seed ()
+
+(* --- Special functions --- *)
+
+let test_log_gamma () =
+  close "ln 4!" (Float.log 24.) (Sp.log_gamma 5.);
+  close "ln Gamma(0.5)" (0.5 *. Float.log Float.pi) (Sp.log_gamma 0.5);
+  close ~tol:1e-5 "ln Gamma(10.5)" 13.9406252 (Sp.log_gamma 10.5)
+
+let test_gamma_p () =
+  (* P(1, x) = 1 - e^-x. *)
+  close "P(1,2)" (1. -. Float.exp (-2.)) (Sp.gamma_p ~a:1. 2.);
+  close "P(a,0)" 0. (Sp.gamma_p ~a:3. 0.);
+  (* Large-a regime used by variance intervals. *)
+  (* Median of Gamma(a) sits near a - 1/3, so the CDF at the mean is just
+     above one half: 0.5 + 1/(3 sqrt(2 pi a)) + O(1/a). *)
+  close ~tol:1e-3 "P(2500, 2500) near half"
+    (0.5 +. (1. /. (3. *. Float.sqrt (2. *. Float.pi *. 2500.))))
+    (Sp.gamma_p ~a:2500. 2500.)
+
+let test_erf_normal () =
+  close ~tol:1e-7 "erf(1)" 0.8427007929 (Sp.erf 1.);
+  close "erf(-1) odd" (-.Sp.erf 1.) (Sp.erf (-1.));
+  close ~tol:1e-7 "Phi(1.96)" 0.9750021049 (Sp.normal_cdf 1.96);
+  close ~tol:1e-6 "Phi^-1(0.975)" 1.9599640 (Sp.normal_quantile 0.975);
+  close ~tol:1e-9 "Phi^-1(0.5)" 0. (Sp.normal_quantile 0.5)
+
+let test_inc_beta () =
+  close "I_x(1,1) = x" 0.42 (Sp.inc_beta ~a:1. ~b:1. 0.42);
+  close ~tol:1e-9 "I_0.5(2,3)" 0.6875 (Sp.inc_beta ~a:2. ~b:3. 0.5);
+  close "edges" 0. (Sp.inc_beta ~a:2. ~b:2. 0.);
+  close "edges" 1. (Sp.inc_beta ~a:2. ~b:2. 1.);
+  close ~tol:1e-9 "quantile roundtrip" 0.3
+    (Sp.inc_beta ~a:3. ~b:5. (Sp.beta_quantile ~a:3. ~b:5. 0.3))
+
+let test_chi_square () =
+  (* df = 2 is Exp(1/2): CDF x -> 1 - e^{-x/2}. *)
+  close "chi2 cdf df=2" (1. -. Float.exp (-1.)) (Sp.chi_square_cdf ~df:2. 2.);
+  close ~tol:1e-5 "chi2 95% df=1" 3.841459 (Sp.chi_square_quantile ~df:1. 0.95);
+  close ~tol:1e-4 "chi2 95% df=10" 18.30704 (Sp.chi_square_quantile ~df:10. 0.95)
+
+let test_ks_survival () =
+  close "Q(0+)" 1. (Sp.ks_survival 1e-12);
+  close ~tol:1e-4 "Q at the 5% critical value" 0.05 (Sp.ks_survival 1.3581);
+  close ~tol:1e-9 "Q(5)" 0. (Sp.ks_survival 5.)
+
+(* --- Confidence intervals --- *)
+
+let test_clopper_pearson_known () =
+  let lo, hi = Ci.clopper_pearson ~confidence:0.95 ~successes:5 ~trials:10 () in
+  close ~tol:1e-4 "5/10 lower" 0.18709 lo;
+  close ~tol:1e-4 "5/10 upper" 0.81291 hi;
+  let lo0, hi0 = Ci.clopper_pearson ~confidence:0.95 ~successes:0 ~trials:10 () in
+  close "0 successes floor" 0. lo0;
+  (* Upper bound at s = 0 is 1 - (alpha/2)^(1/n). *)
+  close ~tol:1e-6 "0/10 upper" (1. -. Float.exp (Float.log 0.025 /. 10.)) hi0;
+  let lon, hin = Ci.clopper_pearson ~confidence:0.95 ~successes:10 ~trials:10 () in
+  close "all successes ceiling" 1. hin;
+  close ~tol:1e-6 "10/10 lower" (Float.exp (Float.log 0.025 /. 10.)) lon
+
+let test_clopper_pearson_one_sided () =
+  let hi = Ci.clopper_pearson_upper ~confidence:0.95 ~successes:0 ~trials:20 () in
+  (* The rule of three, exactly: 1 - alpha^(1/n). *)
+  close ~tol:1e-6 "one-sided upper" (1. -. Float.exp (Float.log 0.05 /. 20.)) hi;
+  close "one-sided lower at 0" 0.
+    (Ci.clopper_pearson_lower ~confidence:0.95 ~successes:0 ~trials:20 ())
+
+let test_mean_variance_ci () =
+  let r = rng 11L in
+  let xs = Array.init 4000 (fun _ -> Prob.Sampler.gaussian r ~mean:5. ~std:2.) in
+  let lo, hi = Ci.mean_ci ~confidence:0.999 xs in
+  Alcotest.(check bool) "mean CI contains truth" true (lo < 5. && 5. < hi);
+  Alcotest.(check bool) "mean CI nondegenerate" true (hi -. lo > 0.);
+  let vlo, vhi = Ci.variance_ci ~confidence:0.999 xs in
+  Alcotest.(check bool) "variance CI contains truth" true (vlo < 4. && 4. < vhi)
+
+let test_ci_validation () =
+  Alcotest.check_raises "trials 0" (Invalid_argument "Stattest.Ci: trials must be positive")
+    (fun () -> ignore (Ci.clopper_pearson ~successes:0 ~trials:0 ()));
+  Alcotest.check_raises "bad confidence"
+    (Invalid_argument "Stattest.Ci: confidence must be in (0, 1)") (fun () ->
+      ignore (Ci.clopper_pearson ~confidence:1. ~successes:1 ~trials:2 ()))
+
+(* --- Hypothesis tests --- *)
+
+let test_chi_square_gof () =
+  let fit = Ht.chi_square_gof ~expected:[| 25.; 25.; 25.; 25. |] [| 25; 25; 25; 25 |] in
+  close "perfect fit statistic" 0. fit.Ht.statistic;
+  close "perfect fit p" 1. fit.Ht.p_value;
+  let off = Ht.chi_square_gof ~expected:[| 50.; 50. |] [| 90; 10 |] in
+  Alcotest.(check bool) "gross misfit rejected" true (off.Ht.p_value < 1e-6);
+  let dead = Ht.chi_square_gof ~expected:[| 50.; 50.; 0. |] [| 50; 50; 7 |] in
+  close "impossible cell" 0. dead.Ht.p_value
+
+let test_chi_square_uniform () =
+  let r = rng 77L in
+  let counts = Array.make 6 0 in
+  for _ = 1 to 30_000 do
+    let v = Prob.Rng.int r 6 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  let u = Ht.chi_square_uniform counts in
+  Alcotest.(check bool) "uniform accepted" true (u.Ht.p_value > 0.001);
+  counts.(0) <- counts.(0) + 800;
+  let v = Ht.chi_square_uniform counts in
+  Alcotest.(check bool) "biased rejected" true (v.Ht.p_value < 1e-6)
+
+let test_ks () =
+  let r = rng 99L in
+  let a = Array.init 4000 (fun _ -> Prob.Sampler.gaussian r ~mean:0. ~std:1.) in
+  let b = Array.init 4000 (fun _ -> Prob.Sampler.gaussian r ~mean:0. ~std:1.) in
+  let same = Ht.ks_two_sample a b in
+  Alcotest.(check bool) "same distribution accepted" true (same.Ht.p_value > 0.001);
+  let c = Array.init 4000 (fun _ -> Prob.Sampler.gaussian r ~mean:0.3 ~std:1.) in
+  let diff = Ht.ks_two_sample a c in
+  Alcotest.(check bool) "shifted rejected" true (diff.Ht.p_value < 1e-6);
+  let one = Ht.ks_one_sample ~cdf:Sp.normal_cdf a in
+  Alcotest.(check bool) "one-sample accepted" true (one.Ht.p_value > 0.001);
+  let bad = Ht.ks_one_sample ~cdf:(fun x -> Sp.normal_cdf (x -. 0.4)) a in
+  Alcotest.(check bool) "wrong cdf rejected" true (bad.Ht.p_value < 1e-6)
+
+let test_check_wrappers () =
+  let r = rng 5L in
+  let xs = Array.init 5000 (fun _ -> Prob.Sampler.gaussian r ~mean:1. ~std:1.) in
+  Ck.mean ~expected:1. "gaussian mean" xs;
+  Ck.variance ~expected:1. "gaussian variance" xs;
+  Alcotest.(check bool) "wrong mean flagged" true
+    (try
+       Ck.mean ~expected:2. "should fail" xs;
+       false
+     with Ck.Failed _ -> true);
+  let above = Array.fold_left (fun acc x -> if x > 1. then acc + 1 else acc) 0 xs in
+  Ck.proportion ~expected:0.5 "mass above the mean" ~successes:above ~trials:5000;
+  Alcotest.(check bool) "band check flags wide CI" true
+    (try
+       Ck.proportion_within ~lo:0.49 ~hi:0.51 "narrow band" ~successes:5 ~trials:10;
+       false
+     with Ck.Failed _ -> true)
+
+(* --- The eps-DP auditor --- *)
+
+let audit_pool = lazy (Parallel.Pool.create ~jobs:2 ())
+
+let run_case ?(trials = 60_000) case =
+  Audit.run ~pool:(Lazy.force audit_pool) ~trials (rng 424242L) case
+
+let test_auditor_passes_standard () =
+  List.iter
+    (fun (case : Audit.case) ->
+      let report = run_case case in
+      if not (Audit.passed report) then
+        Alcotest.failf "%s flagged at its claimed epsilon: %s" case.Audit.name
+          (Format.asprintf "%a" Audit.pp_report report);
+      Alcotest.(check bool)
+        (case.Audit.name ^ " measured loss below claim")
+        true
+        (report.Audit.max_log_ratio_lower <= case.Audit.epsilon))
+    (Audit.standard ())
+
+let test_auditor_flags_broken () =
+  let flagged =
+    List.map
+      (fun (case : Audit.case) ->
+        let report = run_case case in
+        Alcotest.(check bool) (case.Audit.name ^ " marked broken") true case.Audit.broken;
+        if Audit.passed report then
+          Alcotest.failf "%s NOT flagged: %s" case.Audit.name
+            (Format.asprintf "%a" Audit.pp_report report);
+        List.iter
+          (fun (v : Audit.violation) ->
+            Alcotest.(check bool) "certified loss exceeds claim" true
+              (v.Audit.log_ratio_lower > case.Audit.epsilon))
+          report.Audit.violations;
+        case.Audit.name)
+      (Audit.broken ())
+  in
+  Alcotest.(check bool) "at least two negative controls" true (List.length flagged >= 2)
+
+let test_auditor_jobs_deterministic () =
+  let case = List.hd (Audit.standard ()) in
+  let report_at jobs =
+    let pool = Parallel.Pool.create ~jobs () in
+    let r = rng 7L in
+    let report = Audit.run ~pool ~trials:4000 r case in
+    let next = Prob.Rng.bits64 r in
+    Parallel.Pool.shutdown pool;
+    (report, next)
+  in
+  let r1, n1 = report_at 1 in
+  let r2, n2 = report_at 2 in
+  let r4, n4 = report_at 4 in
+  Alcotest.(check (array int)) "counts_a 1 vs 2" r1.Audit.counts_a r2.Audit.counts_a;
+  Alcotest.(check (array int)) "counts_b 1 vs 2" r1.Audit.counts_b r2.Audit.counts_b;
+  Alcotest.(check (array int)) "counts_a 1 vs 4" r1.Audit.counts_a r4.Audit.counts_a;
+  Alcotest.(check (array int)) "counts_b 1 vs 4" r1.Audit.counts_b r4.Audit.counts_b;
+  Alcotest.(check int64) "parent rng advanced identically" n1 n2;
+  Alcotest.(check int64) "parent rng advanced identically (4)" n1 n4
+
+let test_auditor_find_and_validation () =
+  Alcotest.(check bool) "find laplace" true (Audit.find "LAPLACE" <> None);
+  Alcotest.(check bool) "find broken" true (Audit.find "broken-laplace" <> None);
+  Alcotest.(check bool) "unknown absent" true (Audit.find "nope" = None);
+  Alcotest.(check int) "battery size" 12 (List.length (Audit.all ()));
+  Alcotest.check_raises "trials validated"
+    (Invalid_argument "Stattest.Dp_audit.run: trials must be positive") (fun () ->
+      ignore (Audit.run ~trials:0 (rng 1L) (List.hd (Audit.standard ()))))
+
+let () =
+  Alcotest.run "stattest"
+    [
+      ( "special",
+        [
+          Alcotest.test_case "log_gamma" `Quick test_log_gamma;
+          Alcotest.test_case "gamma_p" `Quick test_gamma_p;
+          Alcotest.test_case "erf/normal" `Quick test_erf_normal;
+          Alcotest.test_case "incomplete beta" `Quick test_inc_beta;
+          Alcotest.test_case "chi-square" `Quick test_chi_square;
+          Alcotest.test_case "ks survival" `Quick test_ks_survival;
+        ] );
+      ( "ci",
+        [
+          Alcotest.test_case "clopper-pearson known values" `Quick
+            test_clopper_pearson_known;
+          Alcotest.test_case "one-sided bounds" `Quick test_clopper_pearson_one_sided;
+          Alcotest.test_case "mean/variance CIs" `Quick test_mean_variance_ci;
+          Alcotest.test_case "validation" `Quick test_ci_validation;
+        ] );
+      ( "htest",
+        [
+          Alcotest.test_case "chi-square gof" `Quick test_chi_square_gof;
+          Alcotest.test_case "chi-square uniform" `Quick test_chi_square_uniform;
+          Alcotest.test_case "kolmogorov-smirnov" `Quick test_ks;
+          Alcotest.test_case "check wrappers" `Quick test_check_wrappers;
+        ] );
+      ( "dp auditor",
+        [
+          Alcotest.test_case "passes all 8 mechanisms" `Slow test_auditor_passes_standard;
+          Alcotest.test_case "flags broken variants" `Slow test_auditor_flags_broken;
+          Alcotest.test_case "jobs-deterministic" `Quick test_auditor_jobs_deterministic;
+          Alcotest.test_case "find/validation" `Quick test_auditor_find_and_validation;
+        ] );
+    ]
