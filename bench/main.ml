@@ -108,6 +108,39 @@ let write_json path ~jobs rows =
   close_out oc;
   Format.printf "wrote kernel timings to %s@." path
 
+(* The telemetry-overhead pair: the same counter+histogram loop timed with
+   the sink disabled (sealed no-op path) and enabled. Both rows land in the
+   bench-kernels/v1 JSON, so CI can watch the no-op cost stay near zero.
+   No spans inside the loop: span events accumulate in the event buffer and
+   would measure allocation, not the hot-path branch. *)
+let obs_overhead_iters = 4096
+
+let c_overhead = Obs.Counter.make ~timing:true "bench.obs_overhead"
+
+let h_overhead = Obs.Histogram.make ~timing:true "bench.obs_overhead_magnitude"
+
+let obs_overhead_loop () =
+  for i = 1 to obs_overhead_iters do
+    Obs.Counter.incr c_overhead;
+    Obs.Histogram.observe h_overhead (float_of_int i)
+  done
+
+let obs_overhead_tests () =
+  [
+    Test.make ~name:"obs-overhead-noop"
+      (Staged.stage (fun () ->
+           let was = Obs.enabled () in
+           Obs.disable ();
+           obs_overhead_loop ();
+           if was then Obs.enable ()));
+    Test.make ~name:"obs-overhead-instrumented"
+      (Staged.stage (fun () ->
+           let was = Obs.enabled () in
+           Obs.enable ();
+           obs_overhead_loop ();
+           if not was then Obs.disable ()));
+  ]
+
 let perf_benchmarks ~only ~json ~jobs () =
   let tests =
     Experiments.Registry.all
@@ -119,6 +152,11 @@ let perf_benchmarks ~only ~json ~jobs () =
                   (* A fresh deterministic generator per run keeps the work
                      identical across samples. *)
                   e.Experiments.Registry.kernel (Prob.Rng.create ~seed:1L ()))))
+  in
+  (* --only narrows to a single experiment kernel (a contract test_json
+     pins); the overhead pair rides along only on full runs. *)
+  let tests =
+    if only = None then tests @ obs_overhead_tests () else tests
   in
   let grouped = Test.make_grouped ~name:"experiments" tests in
   let cfg =
@@ -164,6 +202,10 @@ let () =
   let jobs = ref (Parallel.Pool.recommended_jobs ()) in
   let speedup = ref false in
   let json = ref None in
+  let trace = ref None in
+  let metrics_json = ref None in
+  let metrics = ref false in
+  let progress = ref false in
   let args =
     [
       ("--full", Arg.Set full, "full-scale experiment parameters (slow)");
@@ -175,6 +217,14 @@ let () =
         Arg.Set speedup,
         "time each experiment at jobs=1 vs --jobs and diff the tables" );
       ("--json", Arg.String (fun s -> json := Some s), "write kernel timings to FILE as JSON");
+      ( "--trace",
+        Arg.String (fun s -> trace := Some s),
+        "write a Chrome trace_event JSON file (Perfetto / chrome://tracing)" );
+      ( "--metrics-json",
+        Arg.String (fun s -> metrics_json := Some s),
+        "write counters and histograms as obs-metrics/v1 JSON" );
+      ("--metrics", Arg.Set metrics, "print a metrics summary table to stderr");
+      ("--progress", Arg.Set progress, "stderr heartbeat with items/sec and ETA");
     ]
   in
   let usage =
@@ -202,8 +252,28 @@ let () =
     exit 2
   | _ -> ());
   Parallel.Pool.set_default_jobs !jobs;
+  if !progress then Obs.Progress.enable ();
+  let obs_wanted = !trace <> None || !metrics_json <> None || !metrics in
+  if obs_wanted then begin
+    Obs.reset ();
+    Obs.enable ()
+  end;
   let scale = if !full then Experiments.Common.Full else Experiments.Common.Quick in
   if !tables then
     if !speedup then speedup_tables ~scale ~only:!only ~jobs:!jobs ()
     else experiment_tables ~scale ~only:!only ();
-  if !perf then perf_benchmarks ~only:!only ~json:!json ~jobs:!jobs ()
+  if !perf then perf_benchmarks ~only:!only ~json:!json ~jobs:!jobs ();
+  if obs_wanted then begin
+    let report = Obs.snapshot ~jobs:!jobs () in
+    Option.iter
+      (fun path ->
+        Obs.Export.write_file path (Obs.Export.chrome_trace report);
+        Format.eprintf "[obs] wrote Chrome trace to %s@." path)
+      !trace;
+    Option.iter
+      (fun path ->
+        Obs.Export.write_file path (Obs.Export.metrics_json report);
+        Format.eprintf "[obs] wrote %s to %s@." Obs.Export.schema path)
+      !metrics_json;
+    if !metrics then Format.eprintf "%a@." Obs.Export.pp_summary report
+  end

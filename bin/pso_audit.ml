@@ -7,7 +7,15 @@
      theorems     run the executable theorem battery (1.3, 2.5-2.10)
      report       print the full legal-technical report
      dpcheck      empirically audit the eps-DP mechanisms (Definition 1.2)
-     experiment   run one of E1..E13 (or `all`) *)
+     experiment   run one of E1..E13 (or `all`)
+     run          alias for experiment with explicit --quick/--full scale
+     validate-json  parse JSON files written by --trace / --metrics-json
+
+   Observability: every long-running subcommand accepts --trace FILE
+   (Chrome trace_event JSON), --metrics-json FILE (obs-metrics/v1),
+   --metrics (summary table on stderr) and --progress (stderr heartbeat).
+   All telemetry output goes to stderr or to files, never stdout, so
+   golden tables stay byte-identical with telemetry enabled. *)
 
 open Cmdliner
 
@@ -35,6 +43,79 @@ let set_jobs =
         exit 2
       end;
       Parallel.Pool.set_default_jobs j)
+
+(* --- observability flags --- *)
+
+type obs_cfg = {
+  trace : string option;
+  metrics_json : string option;
+  metrics : bool;
+  progress : bool;
+}
+
+let obs_term =
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome trace_event JSON file (open in Perfetto or \
+             chrome://tracing); one track per worker domain.")
+  in
+  let metrics_json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-json" ] ~docv:"FILE"
+          ~doc:"Write counters and histograms as obs-metrics/v1 JSON.")
+  in
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:"Print a metrics summary table to stderr on completion.")
+  in
+  let progress =
+    Arg.(
+      value & flag
+      & info [ "progress" ]
+          ~doc:"Print a heartbeat with items/sec and ETA to stderr.")
+  in
+  Term.(
+    const (fun trace metrics_json metrics progress ->
+        { trace; metrics_json; metrics; progress })
+    $ trace $ metrics_json $ metrics $ progress)
+
+(* Runs [f] with telemetry enabled when any obs output was requested, then
+   exports. [f] returns an exit code instead of calling [exit] directly so
+   the snapshot/export runs before the process terminates. *)
+let with_obs cfg f =
+  if cfg.progress then Obs.Progress.enable ();
+  let wanted = cfg.trace <> None || cfg.metrics_json <> None || cfg.metrics in
+  if not wanted then f ()
+  else begin
+    Obs.reset ();
+    Obs.enable ();
+    let code = f () in
+    let report =
+      Obs.snapshot ~jobs:(Parallel.Pool.jobs (Parallel.Pool.default ())) ()
+    in
+    Option.iter
+      (fun path ->
+        Obs.Export.write_file path (Obs.Export.chrome_trace report);
+        Format.eprintf "[obs] wrote Chrome trace to %s@." path)
+      cfg.trace;
+    Option.iter
+      (fun path ->
+        Obs.Export.write_file path (Obs.Export.metrics_json report);
+        Format.eprintf "[obs] wrote %s to %s@." Obs.Export.schema path)
+      cfg.metrics_json;
+    if cfg.metrics then Format.eprintf "%a@." Obs.Export.pp_summary report;
+    code
+  end
+
+let exit_with code = if code <> 0 then exit code
 
 let n_arg default =
   Arg.(value & opt int default & info [ "n"; "size" ] ~docv:"N" ~doc:"Dataset size.")
@@ -132,8 +213,10 @@ let anonymize_cmd =
 type game_target = Count | Dp_count | Kanon_member | Kanon_class
 
 let game_cmd =
-  let run seed jobs n trials target =
+  let run seed jobs n trials target obs =
     set_jobs jobs;
+    exit_with @@ with_obs obs
+    @@ fun () ->
     let rng = rng_of_seed seed in
     let model = Dataset.Synth.kanon_pso_model ~qis:6 ~retained:42 ~domain:64 in
     let count_query =
@@ -174,7 +257,8 @@ let game_cmd =
         ~trials
     in
     Format.printf "mechanism: %s@.attacker: %s@.%a@." mechanism.Query.Mechanism.name
-      attacker.Pso.Attacker.name Pso.Game.pp outcome
+      attacker.Pso.Attacker.name Pso.Game.pp outcome;
+    0
   in
   let target_arg =
     Arg.(
@@ -193,7 +277,9 @@ let game_cmd =
   in
   Cmd.v
     (Cmd.info "game" ~doc:"Run the PSO security game (Definition 2.4).")
-    Term.(const run $ seed_arg $ jobs_arg $ n_arg 120 $ trials_arg $ target_arg)
+    Term.(
+      const run $ seed_arg $ jobs_arg $ n_arg 120 $ trials_arg $ target_arg
+      $ obs_term)
 
 (* --- audit --- *)
 
@@ -206,8 +292,10 @@ type audit_target =
   | A_synthetic
 
 let audit_cmd =
-  let run seed jobs n trials target =
+  let run seed jobs n trials target obs =
     set_jobs jobs;
+    exit_with @@ with_obs obs
+    @@ fun () ->
     let rng = rng_of_seed seed in
     let model = Dataset.Synth.kanon_pso_model ~qis:6 ~retained:42 ~domain:64 in
     let count_query =
@@ -248,7 +336,8 @@ let audit_cmd =
     let worst = Core.Audit.worst_success findings in
     Format.printf "worst PSO success: %.1f%% -> %s@." (100. *. worst)
       (if worst > 0.1 then "singling out DEMONSTRATED: not GDPR-anonymous"
-       else "no singling out demonstrated by this battery")
+       else "no singling out demonstrated by this battery");
+    0
   in
   let target_arg =
     Arg.(
@@ -272,48 +361,58 @@ let audit_cmd =
   Cmd.v
     (Cmd.info "audit"
        ~doc:"Run the standard PSO attacker battery against a mechanism.")
-    Term.(const run $ seed_arg $ jobs_arg $ n_arg 120 $ trials_arg $ target_arg)
+    Term.(
+      const run $ seed_arg $ jobs_arg $ n_arg 120 $ trials_arg $ target_arg
+      $ obs_term)
 
 (* --- theorems --- *)
 
 let theorems_cmd =
-  let run seed jobs n trials =
+  let run seed jobs n trials obs =
     set_jobs jobs;
+    exit_with @@ with_obs obs
+    @@ fun () ->
     let rng = rng_of_seed seed in
     let params = { Pso.Theorems.n; trials; weight_exponent = 2. } in
     let verdicts = Pso.Theorems.all ~params rng in
     List.iter (fun v -> Format.printf "%a@." Pso.Theorems.pp v) verdicts;
     let failed = List.filter (fun v -> not v.Pso.Theorems.holds) verdicts in
-    if failed = [] then Format.printf "all %d checks hold@." (List.length verdicts)
+    if failed = [] then begin
+      Format.printf "all %d checks hold@." (List.length verdicts);
+      0
+    end
     else begin
       Format.printf "%d checks REFUTED@." (List.length failed);
-      exit 1
+      1
     end
   in
   Cmd.v
     (Cmd.info "theorems" ~doc:"Run the executable theorem battery.")
-    Term.(const run $ seed_arg $ jobs_arg $ n_arg 150 $ trials_arg)
+    Term.(const run $ seed_arg $ jobs_arg $ n_arg 150 $ trials_arg $ obs_term)
 
 (* --- report --- *)
 
 let report_cmd =
-  let run seed jobs n trials =
+  let run seed jobs n trials obs =
     set_jobs jobs;
+    exit_with @@ with_obs obs
+    @@ fun () ->
     let rng = rng_of_seed seed in
     let report =
       Legal.Report.build ~context:"pso_audit report" rng
         { Pso.Theorems.n; trials; weight_exponent = 2. }
     in
-    Format.printf "%a@." Legal.Report.pp report
+    Format.printf "%a@." Legal.Report.pp report;
+    0
   in
   Cmd.v
     (Cmd.info "report" ~doc:"Print the full legal-technical audit report.")
-    Term.(const run $ seed_arg $ jobs_arg $ n_arg 150 $ trials_arg)
+    Term.(const run $ seed_arg $ jobs_arg $ n_arg 150 $ trials_arg $ obs_term)
 
 (* --- dpcheck --- *)
 
 let dpcheck_cmd =
-  let run seed jobs trials confidence battery mechanism =
+  let run seed jobs trials confidence battery mechanism obs =
     set_jobs jobs;
     if trials < 1 then begin
       Format.eprintf "pso_audit: --trials must be >= 1 (got %d)@." trials;
@@ -347,6 +446,8 @@ let dpcheck_cmd =
             other;
           exit 2)
     in
+    exit_with @@ with_obs obs
+    @@ fun () ->
     let rng = rng_of_seed seed in
     let flagged =
       List.filter
@@ -358,7 +459,7 @@ let dpcheck_cmd =
     in
     Format.printf "dpcheck: %d/%d mechanism(s) flagged@." (List.length flagged)
       (List.length cases);
-    if flagged <> [] then exit 1
+    if flagged <> [] then 1 else 0
   in
   let trials_arg =
     Arg.(
@@ -391,37 +492,110 @@ let dpcheck_cmd =
           when a statistically certified violation is found.")
     Term.(
       const run $ seed_arg $ jobs_arg $ trials_arg $ confidence_arg
-      $ battery_arg $ mechanism_arg)
+      $ battery_arg $ mechanism_arg $ obs_term)
 
-(* --- experiment --- *)
+(* --- experiment / run --- *)
 
-let experiment_cmd =
-  let run seed jobs full id =
-    set_jobs jobs;
-    let scale = if full then Experiments.Common.Full else Experiments.Common.Quick in
-    let rng = rng_of_seed seed in
-    let fmt = Format.std_formatter in
-    if String.lowercase_ascii id = "all" then
-      List.iter
-        (fun (e : Experiments.Registry.entry) ->
-          e.Experiments.Registry.print ~scale rng fmt)
-        Experiments.Registry.all
+let run_experiments ~seed ~jobs ~scale ~obs id =
+  set_jobs jobs;
+  (* Validate the id before enabling telemetry so a typo exits cleanly. *)
+  let entries =
+    if String.lowercase_ascii id = "all" then Experiments.Registry.all
     else
       match Experiments.Registry.find id with
-      | Some e -> e.Experiments.Registry.print ~scale rng fmt
+      | Some e -> [ e ]
       | None ->
         Format.eprintf "unknown experiment %S (expected E1..E13 or all)@." id;
         exit 2
   in
-  let id_arg =
-    Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc:"E1..E13 or all.")
-  in
-  let full_arg =
-    Arg.(value & flag & info [ "full" ] ~doc:"Full-scale parameters (slower).")
+  exit_with @@ with_obs obs
+  @@ fun () ->
+  let rng = rng_of_seed seed in
+  let fmt = Format.std_formatter in
+  List.iter
+    (fun (e : Experiments.Registry.entry) ->
+      e.Experiments.Registry.print ~scale rng fmt)
+    entries;
+  0
+
+let id_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc:"E1..E13 or all.")
+
+let full_arg =
+  Arg.(value & flag & info [ "full" ] ~doc:"Full-scale parameters (slower).")
+
+let experiment_cmd =
+  let run seed jobs full id obs =
+    let scale =
+      if full then Experiments.Common.Full else Experiments.Common.Quick
+    in
+    run_experiments ~seed ~jobs ~scale ~obs id
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Run an experiment from DESIGN.md's index.")
-    Term.(const run $ seed_arg $ jobs_arg $ full_arg $ id_arg)
+    Term.(const run $ seed_arg $ jobs_arg $ full_arg $ id_arg $ obs_term)
+
+let run_cmd =
+  let run seed jobs quick full id obs =
+    if quick && full then begin
+      Format.eprintf "pso_audit: --quick and --full are mutually exclusive@.";
+      exit 2
+    end;
+    let scale =
+      if full then Experiments.Common.Full else Experiments.Common.Quick
+    in
+    run_experiments ~seed ~jobs ~scale ~obs id
+  in
+  let quick_arg =
+    Arg.(
+      value & flag
+      & info [ "quick" ] ~doc:"Quick-scale parameters (the default).")
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Run an experiment from DESIGN.md's index (alias of experiment with \
+          an explicit --quick/--full scale choice).")
+    Term.(const run $ seed_arg $ jobs_arg $ quick_arg $ full_arg $ id_arg $ obs_term)
+
+(* --- validate-json --- *)
+
+let validate_json_cmd =
+  let run files =
+    List.iter
+      (fun path ->
+        let contents =
+          try
+            let ic = open_in_bin path in
+            Fun.protect
+              ~finally:(fun () -> close_in_noerr ic)
+              (fun () -> really_input_string ic (in_channel_length ic))
+          with Sys_error msg ->
+            Format.eprintf "pso_audit: cannot read %s: %s@." path msg;
+            exit 2
+        in
+        match Core.Json.of_string contents with
+        | Error msg ->
+          Format.eprintf "pso_audit: %s: invalid JSON: %s@." path msg;
+          exit 2
+        | Ok doc ->
+          let schema =
+            match Core.Json.member "schema" doc with
+            | Some (Core.Json.String s) -> s
+            | _ -> "unknown schema"
+          in
+          Format.printf "ok: %s (%s)@." path schema)
+      files
+  in
+  let files_arg =
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"FILE" ~doc:"JSON files.")
+  in
+  Cmd.v
+    (Cmd.info "validate-json"
+       ~doc:
+         "Parse JSON files (e.g. --trace / --metrics-json output) and report \
+          their schema; exits 2 on malformed input.")
+    Term.(const run $ files_arg)
 
 let () =
   let doc = "singling-out: PSO games, attacks and legal theorems (PODS 2021)" in
@@ -430,5 +604,5 @@ let () =
        (Cmd.group (Cmd.info "pso_audit" ~version:Core.version ~doc)
           [
             synth_cmd; anonymize_cmd; game_cmd; audit_cmd; theorems_cmd; report_cmd;
-            dpcheck_cmd; experiment_cmd;
+            dpcheck_cmd; experiment_cmd; run_cmd; validate_json_cmd;
           ]))

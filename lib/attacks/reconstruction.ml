@@ -17,7 +17,10 @@ let agreement a b =
     float_of_int !same /. float_of_int (Array.length a)
   end
 
+let c_queries = Obs.Counter.make "attacks.queries"
+
 let finish ~truth ~queries_used estimate =
+  Obs.Counter.add c_queries queries_used;
   let hamming_errors =
     let e = ref 0 in
     Array.iteri (fun i v -> if v <> truth.(i) then incr e) estimate;
@@ -54,6 +57,7 @@ let popcount16 =
      t)
 
 let exhaustive oracle ~truth =
+  Obs.with_span "attacks.exhaustive" @@ fun () ->
   let n = Query.Oracle.n oracle in
   if n > 16 then invalid_arg "Reconstruction.exhaustive: n > 16";
   let nmasks = 1 lsl n in
@@ -108,6 +112,7 @@ let random_queries rng ~queries n =
   out
 
 let least_squares rng oracle ~queries ~truth =
+  Obs.with_span "attacks.least_squares" @@ fun () ->
   let n = Query.Oracle.n oracle in
   let qs = random_queries rng ~queries n in
   let answers = Array.map (fun q -> Query.Oracle.ask oracle q) qs in
@@ -121,6 +126,7 @@ let least_squares rng oracle ~queries ~truth =
   finish ~truth ~queries_used:queries estimate
 
 let lp_decode rng oracle ~queries ~truth =
+  Obs.with_span "attacks.lp_decode" @@ fun () ->
   let n = Query.Oracle.n oracle in
   let qs = random_queries rng ~queries n in
   let answers = Array.map (fun q -> Query.Oracle.ask oracle q) qs in

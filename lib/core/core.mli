@@ -21,6 +21,7 @@ module Legal = Legal
 (** {1 Utilities} *)
 
 module Json = Json
+module Obs = Obs
 
 (** {1 One-call audits} *)
 

@@ -5,6 +5,7 @@ let create () = { steps = [] }
 let spend t ~epsilon ?(delta = 0.) label =
   if epsilon <= 0. then invalid_arg "Dp.Accountant.spend: epsilon";
   if delta < 0. || delta >= 1. then invalid_arg "Dp.Accountant.spend: delta";
+  Telemetry.spend ();
   t.steps <- (label, epsilon, delta) :: t.steps
 
 let steps t = List.rev t.steps

@@ -11,7 +11,7 @@ let select rng ~epsilon ~sensitivity ~utility candidates =
       scores
   in
   let total = Array.fold_left ( +. ) 0. weights in
-  let target = Prob.Rng.uniform rng *. total in
+  let target = Telemetry.coin (Prob.Rng.uniform rng) *. total in
   let acc = ref 0. in
   let chosen = ref (Array.length candidates - 1) in
   (try

@@ -5,7 +5,10 @@ let sigma ~epsilon ~delta ~sensitivity =
   sensitivity *. Float.sqrt (2. *. Float.log (1.25 /. delta)) /. epsilon
 
 let perturb rng ~epsilon ~delta ~sensitivity value =
-  value +. Prob.Sampler.gaussian rng ~mean:0. ~std:(sigma ~epsilon ~delta ~sensitivity)
+  value
+  +. Telemetry.noise
+       (Prob.Sampler.gaussian rng ~mean:0.
+          ~std:(sigma ~epsilon ~delta ~sensitivity))
 
 let count rng ~epsilon ~delta table q =
   let exact = Query.Predicate.count (Dataset.Table.schema table) q table in

@@ -1,6 +1,8 @@
 let perturb rng ~epsilon value =
   if epsilon <= 0. then invalid_arg "Dp.Geometric: epsilon must be positive";
-  value + Prob.Sampler.two_sided_geometric rng ~alpha:(Float.exp (-.epsilon))
+  value
+  + Telemetry.noise_int
+      (Prob.Sampler.two_sided_geometric rng ~alpha:(Float.exp (-.epsilon)))
 
 let count rng ~epsilon table q =
   let exact = Query.Predicate.count (Dataset.Table.schema table) q table in

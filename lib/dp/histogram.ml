@@ -20,7 +20,9 @@ let noisy rng ~epsilon table cells =
   if epsilon <= 0. then invalid_arg "Dp.Histogram.noisy: epsilon";
   Array.map
     (fun (label, count) ->
-      (label, float_of_int count +. Prob.Sampler.laplace rng ~scale:(1. /. epsilon)))
+      ( label,
+        float_of_int count
+        +. Telemetry.noise (Prob.Sampler.laplace rng ~scale:(1. /. epsilon)) ))
     (exact table cells)
 
 let mechanism ~epsilon cells =

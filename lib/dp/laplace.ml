@@ -4,7 +4,8 @@ let check_epsilon epsilon =
 let count rng ~epsilon table q =
   check_epsilon epsilon;
   let exact = Query.Predicate.count (Dataset.Table.schema table) q table in
-  float_of_int exact +. Prob.Sampler.laplace rng ~scale:(1. /. epsilon)
+  float_of_int exact
+  +. Telemetry.noise (Prob.Sampler.laplace rng ~scale:(1. /. epsilon))
 
 let clamp ~lo ~hi v = if v < lo then lo else if v > hi then hi else v
 
@@ -13,14 +14,17 @@ let sum rng ~epsilon ~lo ~hi values =
   if hi < lo then invalid_arg "Dp.Laplace.sum: empty range";
   let sensitivity = Float.max (Float.abs lo) (Float.abs hi) in
   let exact = Array.fold_left (fun acc v -> acc +. clamp ~lo ~hi v) 0. values in
-  exact +. Prob.Sampler.laplace rng ~scale:(sensitivity /. Float.max epsilon 1e-12)
+  exact
+  +. Telemetry.noise
+       (Prob.Sampler.laplace rng ~scale:(sensitivity /. Float.max epsilon 1e-12))
 
 let mean rng ~epsilon ~lo ~hi values =
   check_epsilon epsilon;
   let half = epsilon /. 2. in
   let noisy_sum = sum rng ~epsilon:half ~lo ~hi values in
   let noisy_count =
-    float_of_int (Array.length values) +. Prob.Sampler.laplace rng ~scale:(1. /. half)
+    float_of_int (Array.length values)
+    +. Telemetry.noise (Prob.Sampler.laplace rng ~scale:(1. /. half))
   in
   noisy_sum /. Float.max 1. noisy_count
 

@@ -4,7 +4,9 @@ let select_values rng ~epsilon values =
   let best = ref 0 and best_v = ref neg_infinity in
   Array.iteri
     (fun i v ->
-      let noisy = v +. Prob.Sampler.laplace rng ~scale:(2. /. epsilon) in
+      let noisy =
+        v +. Telemetry.noise (Prob.Sampler.laplace rng ~scale:(2. /. epsilon))
+      in
       if noisy > !best_v then begin
         best := i;
         best_v := noisy

@@ -7,7 +7,7 @@ let flip_probability ~epsilon =
 
 let respond rng ~epsilon bit =
   let flip = flip_probability ~epsilon in
-  if Prob.Sampler.bernoulli rng ~p:flip then not bit else bit
+  if Telemetry.coin (Prob.Sampler.bernoulli rng ~p:flip) then not bit else bit
 
 let survey rng ~epsilon bits = Array.map (respond rng ~epsilon) bits
 

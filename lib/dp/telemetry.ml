@@ -1,0 +1,33 @@
+(* Shared telemetry handles for the DP mechanisms.
+
+   Every mechanism routes its randomness through [noise] / [noise_int] /
+   [coin], so "dp.noise_draws" counts privacy-relevant random draws and
+   "dp.noise_magnitude" log-buckets their absolute size. Both are
+   deterministic across --jobs: the per-trial RNG fan-out makes each
+   trial draw the same noise no matter which domain runs it. Counter and
+   histogram handles are idempotent by name, so the Laplace-counts
+   mechanism in lib/query shares the same accounting. *)
+
+let draws = Obs.Counter.make "dp.noise_draws"
+
+let magnitude = Obs.Histogram.make "dp.noise_magnitude"
+
+let spends = Obs.Counter.make "dp.accountant_spends"
+
+let noise x =
+  Obs.Counter.incr draws;
+  Obs.Histogram.observe magnitude (Float.abs x);
+  x
+
+let noise_int k =
+  Obs.Counter.incr draws;
+  Obs.Histogram.observe magnitude (Float.abs (float_of_int k));
+  k
+
+(* Draws whose magnitude is meaningless (a Bernoulli flip, an exponential-
+   mechanism selection): counted, not bucketed. *)
+let coin v =
+  Obs.Counter.incr draws;
+  v
+
+let spend () = Obs.Counter.incr spends

@@ -5,7 +5,23 @@ type entry = {
   kernel : Prob.Rng.t -> unit;
 }
 
+(* Every registry entry gets a root span: "experiment:E#" around the printed
+   table, "kernel:E#" around the bare kernel (the bench path). *)
+let instrument e =
+  {
+    e with
+    print =
+      (fun ~scale rng fmt ->
+        Obs.with_span
+          ("experiment:" ^ e.id)
+          ~args:[ ("title", e.title) ]
+          (fun () -> e.print ~scale rng fmt));
+    kernel =
+      (fun rng -> Obs.with_span ("kernel:" ^ e.id) (fun () -> e.kernel rng));
+  }
+
 let all =
+  List.map instrument
   [
     {
       id = "E1";

@@ -23,22 +23,42 @@ let algorithm_name = function
   | Samarati -> "samarati"
   | Incognito -> "incognito"
 
+let c_calls = Obs.Counter.make "kanon.anonymize_calls"
+let c_suppressed = Obs.Counter.make "kanon.suppressed_cells"
+
+let count_suppressed gtable =
+  let n = ref 0 in
+  for i = 0 to Dataset.Gtable.nrows gtable - 1 do
+    Array.iter
+      (fun v -> if Dataset.Gvalue.is_suppressed v then incr n)
+      (Dataset.Gtable.row gtable i)
+  done;
+  !n
+
 let anonymize config table =
-  match config.algorithm with
-  | Mondrian ->
-    Mondrian.anonymize ~hierarchies:config.scheme ~recoding:config.recoding
-      ~k:config.k table
-  | Datafly ->
-    (Datafly.anonymize ~scheme:config.scheme ~k:config.k
-       ~max_suppression:config.max_suppression table)
-      .Datafly.release
-  | Samarati ->
-    (Samarati.anonymize ~scheme:config.scheme ~k:config.k
-       ~max_suppression:config.max_suppression table)
-      .Samarati.release
-  | Incognito ->
-    (Incognito.anonymize ~scheme:config.scheme ~k:config.k table)
-      .Incognito.release
+  Obs.Counter.incr c_calls;
+  let release =
+    Obs.with_span "kanon.anonymize"
+      ~args:[ ("algorithm", algorithm_name config.algorithm) ]
+      (fun () ->
+        match config.algorithm with
+        | Mondrian ->
+          Mondrian.anonymize ~hierarchies:config.scheme
+            ~recoding:config.recoding ~k:config.k table
+        | Datafly ->
+          (Datafly.anonymize ~scheme:config.scheme ~k:config.k
+             ~max_suppression:config.max_suppression table)
+            .Datafly.release
+        | Samarati ->
+          (Samarati.anonymize ~scheme:config.scheme ~k:config.k
+             ~max_suppression:config.max_suppression table)
+            .Samarati.release
+        | Incognito ->
+          (Incognito.anonymize ~scheme:config.scheme ~k:config.k table)
+            .Incognito.release)
+  in
+  if Obs.enabled () then Obs.Counter.add c_suppressed (count_suppressed release);
+  release
 
 let is_k_anonymous ~k gtable =
   let qis =

@@ -9,6 +9,9 @@ type result = {
   suppressed : int;
 }
 
+(* Same registry slot as Mondrian's split counter (idempotent by name). *)
+let c_steps = Obs.Counter.make "kanon.generalization_steps"
+
 let anonymize ~scheme ~k ?(max_suppression = 0.05) table =
   if k < 1 then invalid_arg "Datafly.anonymize: k must be >= 1";
   if max_suppression < 0. || max_suppression > 1. then
@@ -80,6 +83,7 @@ let anonymize ~scheme ~k ?(max_suppression = 0.05) table =
           suppressed = undersized_rows;
         }
       | (_, qi) :: _ ->
+        Obs.Counter.incr c_steps;
         Hashtbl.replace levels qi (Hashtbl.find levels qi + 1);
         loop ()
     end

@@ -8,6 +8,10 @@ module Gtable = Dataset.Gtable
    sorted distinct values of the current partition, which handles numeric and
    categorical attributes uniformly. *)
 
+(* Shared with Datafly: one successful partition split / one full-domain climb
+   each count as a generalization step. *)
+let c_steps = Obs.Counter.make "kanon.generalization_steps"
+
 let distinct_sorted values =
   let sorted = List.sort_uniq Value.compare values in
   Array.of_list sorted
@@ -110,6 +114,7 @@ let anonymize ?(hierarchies = []) ?(recoding = Member_level) ~k table =
             in
             let ln' = List.length left' and rn' = List.length right' in
             if ln' >= k && rn' >= k then begin
+              Obs.Counter.incr c_steps;
               partition left' ln';
               partition right' rn'
             end

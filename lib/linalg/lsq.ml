@@ -2,6 +2,8 @@ type options = { max_iter : int; tolerance : float }
 
 let default_options = { max_iter = 500; tolerance = 1e-9 }
 
+let c_iters = Obs.Counter.make "linalg.lsq_iterations"
+
 let conjugate_gradient ?(options = default_options) apply b =
   let n = Vector.dim b in
   let x = Vector.create n 0. in
@@ -30,6 +32,7 @@ let conjugate_gradient ?(options = default_options) apply b =
       incr iter
     end
   done;
+  Obs.Counter.add c_iters !iter;
   x
 
 (* Largest singular value of A, squared, via power iteration on AᵀA. *)
@@ -66,4 +69,5 @@ let solve_box ?(options = default_options) a b ~lo ~hi =
     if moved < options.tolerance then continue_ := false;
     incr iter
   done;
+  Obs.Counter.add c_iters !iter;
   !z

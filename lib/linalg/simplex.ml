@@ -23,7 +23,10 @@ type tableau = {
   basis : int array;  (* column currently basic in each row *)
 }
 
+let c_pivots = Obs.Counter.make "linalg.simplex_pivots"
+
 let pivot t ~row ~col =
+  Obs.Counter.incr c_pivots;
   let piv = t.rows.(row).(col) in
   let width = t.total + 1 in
   let r = t.rows.(row) in

@@ -1,0 +1,5 @@
+(* CLOCK_MONOTONIC in nanoseconds, via the bechamel stubs already baked
+   into the toolchain. Wall-clock (gettimeofday) is not monotonic and
+   would make span durations lie across NTP slews. *)
+
+let now_ns () : int64 = Monotonic_clock.now ()

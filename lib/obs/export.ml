@@ -1,0 +1,181 @@
+(* Three views of one snapshot:
+
+   - [metrics_json]: the stable `obs-metrics/v1` document (canonical
+     Json rendering: keys sorted, round-tripping floats);
+   - [chrome_trace]: a Chrome `trace_event` document, one track per
+     domain, loadable in chrome://tracing or https://ui.perfetto.dev;
+   - [pp_summary]: the human table behind `--metrics`.
+
+   The `counters` and `histograms` sections of `obs-metrics/v1` are
+   deterministic for a deterministic workload — identical bytes at every
+   --jobs — except for entries flagged `"timing": true`, which measure
+   wall-clock or scheduling. The `domains` section is always
+   scheduling-dependent. *)
+
+let schema = "obs-metrics/v1"
+
+let schema_version = 1
+
+let metrics_json (r : Metric.report) =
+  Json.Obj
+    [
+      ("schema", Json.String schema);
+      ("version", Json.Number (float_of_int schema_version));
+      ("jobs", Json.Number (float_of_int r.Metric.jobs));
+      ( "counters",
+        Json.List
+          (List.map
+             (fun ((m : Metric.meta), v) ->
+               Json.Obj
+                 [
+                   ("name", Json.String m.Metric.name);
+                   ("timing", Json.Bool m.Metric.timing);
+                   ("value", Json.Number (float_of_int v));
+                 ])
+             r.Metric.counters) );
+      ( "histograms",
+        Json.List
+          (List.map
+             (fun (h : Metric.hist) ->
+               Json.Obj
+                 [
+                   ("name", Json.String h.Metric.h_name);
+                   ("timing", Json.Bool h.Metric.h_timing);
+                   ("count", Json.Number (float_of_int h.Metric.h_count));
+                   ( "buckets",
+                     Json.List
+                       (List.map
+                          (fun (b, c) ->
+                            Json.Obj
+                              [
+                                ("le", Json.number (Metric.bucket_upper b));
+                                ("count", Json.Number (float_of_int c));
+                              ])
+                          h.Metric.h_buckets) );
+                 ])
+             r.Metric.histograms) );
+      ( "domains",
+        Json.List
+          (List.map
+             (fun (d : Metric.domain_report) ->
+               Json.Obj
+                 [
+                   ("tid", Json.Number (float_of_int d.Metric.tid));
+                   ("domain", Json.Number (float_of_int d.Metric.domain_id));
+                   ( "spans",
+                     Json.Number (float_of_int (List.length d.Metric.events)) );
+                   ("busy_ns", Json.Number (Int64.to_float d.Metric.busy_ns));
+                   ("dropped", Json.Number (float_of_int d.Metric.ev_dropped));
+                 ])
+             r.Metric.domains) );
+    ]
+
+(* --- Chrome trace_event --- *)
+
+let us_of_ns ns = Int64.to_float ns /. 1e3
+
+let chrome_trace (r : Metric.report) =
+  let thread_meta (d : Metric.domain_report) =
+    Json.Obj
+      [
+        ("ph", Json.String "M");
+        ("pid", Json.Number 1.);
+        ("tid", Json.Number (float_of_int d.Metric.tid));
+        ("name", Json.String "thread_name");
+        ( "args",
+          Json.Obj
+            [
+              ( "name",
+                Json.String
+                  (if d.Metric.tid = 0 then
+                     Printf.sprintf "domain %d (caller)" d.Metric.domain_id
+                   else Printf.sprintf "domain %d" d.Metric.domain_id) );
+            ] );
+      ]
+  in
+  let span (d : Metric.domain_report) (e : Metric.event) =
+    let base =
+      [
+        ("ph", Json.String "X");
+        ("pid", Json.Number 1.);
+        ("tid", Json.Number (float_of_int d.Metric.tid));
+        ("name", Json.String e.Metric.ev_name);
+        ("ts", Json.number (us_of_ns (Int64.sub e.Metric.ts r.Metric.epoch_ns)));
+        ("dur", Json.number (us_of_ns e.Metric.dur));
+      ]
+    in
+    let args =
+      match e.Metric.args with
+      | [] -> []
+      | kvs ->
+        [ ("args", Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) kvs)) ]
+    in
+    Json.Obj (base @ args)
+  in
+  let events =
+    List.concat_map
+      (fun (d : Metric.domain_report) ->
+        thread_meta d :: List.map (span d) d.Metric.events)
+      r.Metric.domains
+  in
+  Json.Obj
+    [ ("displayTimeUnit", Json.String "ms"); ("traceEvents", Json.List events) ]
+
+let write_file path doc =
+  let oc = open_out path in
+  output_string oc (Json.to_string ~pretty:true doc);
+  output_char oc '\n';
+  close_out oc
+
+(* --- human summary --- *)
+
+(* Upper bound of the bucket holding quantile [q], a deterministic
+   order-of-magnitude summary (exact quantiles would need raw samples). *)
+let quantile_upper (h : Metric.hist) q =
+  if h.Metric.h_count = 0 then nan
+  else begin
+    let target = q *. float_of_int h.Metric.h_count in
+    let rec go acc = function
+      | [] -> nan
+      | (b, c) :: rest ->
+        let acc = acc + c in
+        if float_of_int acc >= target then Metric.bucket_upper b else go acc rest
+    in
+    go 0 h.Metric.h_buckets
+  end
+
+let pp_summary fmt (r : Metric.report) =
+  Format.fprintf fmt "== obs metrics (schema %s, jobs=%d) ==@." schema
+    r.Metric.jobs;
+  Format.fprintf fmt "@.%-34s  %14s@." "counter" "value";
+  Format.fprintf fmt "%s  %s@." (String.make 34 '-') (String.make 14 '-');
+  List.iter
+    (fun ((m : Metric.meta), v) ->
+      Format.fprintf fmt "%-34s  %14d%s@." m.Metric.name v
+        (if m.Metric.timing then "  (timing)" else ""))
+    r.Metric.counters;
+  if r.Metric.histograms <> [] then begin
+    Format.fprintf fmt "@.%-34s  %10s  %10s  %10s@." "histogram" "count"
+      "p50<=" "p95<=";
+    Format.fprintf fmt "%s  %s  %s  %s@." (String.make 34 '-')
+      (String.make 10 '-') (String.make 10 '-') (String.make 10 '-');
+    List.iter
+      (fun (h : Metric.hist) ->
+        Format.fprintf fmt "%-34s  %10d  %10.3g  %10.3g%s@." h.Metric.h_name
+          h.Metric.h_count (quantile_upper h 0.5) (quantile_upper h 0.95)
+          (if h.Metric.h_timing then "  (timing)" else ""))
+      r.Metric.histograms
+  end;
+  Format.fprintf fmt "@.%-10s  %8s  %8s  %12s  %8s@." "track" "domain" "spans"
+    "busy" "dropped";
+  Format.fprintf fmt "%s  %s  %s  %s  %s@." (String.make 10 '-')
+    (String.make 8 '-') (String.make 8 '-') (String.make 12 '-')
+    (String.make 8 '-');
+  List.iter
+    (fun (d : Metric.domain_report) ->
+      Format.fprintf fmt "%-10d  %8d  %8d  %10.1fms  %8d@." d.Metric.tid
+        d.Metric.domain_id
+        (List.length d.Metric.events)
+        (Int64.to_float d.Metric.busy_ns /. 1e6)
+        d.Metric.ev_dropped)
+    r.Metric.domains

@@ -1,0 +1,333 @@
+(* The telemetry core: counters, log-bucketed histograms and nested spans,
+   aggregated domain-locally and merged at snapshot time.
+
+   Design constraints (see EXPERIMENTS.md, "Observability"):
+
+   - Zero RNG interaction: nothing here draws randomness, so enabling
+     telemetry cannot perturb any experiment table.
+
+   - Near-zero cost when disabled: every recording operation is a single
+     atomic flag read plus a branch. The sink is sealed — there is no
+     indirection through a configurable backend on the hot path.
+
+   - Domain-local aggregation: each domain owns a collector reached
+     through [Domain.DLS] (the same pattern as the predicate digest
+     cache), so recording never takes a lock and never contends.
+
+   - Deterministic merge: [snapshot] folds collectors in ascending
+     domain-index order. Counters and histogram buckets are integer
+     sums, so merged totals are independent of how the pool interleaved
+     work — byte-identical at every --jobs for a deterministic workload.
+
+   Metrics that measure wall-clock (durations, per-participant steal
+   counts) are inherently scheduling-dependent; they carry [timing =
+   true] and are excluded from cross-jobs determinism checks. A
+   deterministic counter must be updated *inside* the work item (not
+   after a parallel region's completion handshake) so the pool's
+   finish-mutex orders the write before the caller's snapshot. *)
+
+let on = Atomic.make false
+
+let enabled () = Atomic.get on
+
+(* Process epoch for trace timestamps; set once so re-enabling (the bench
+   overhead kernels toggle the flag) keeps one coherent timeline. *)
+let epoch = ref 0L
+
+let enable () =
+  if not (Atomic.get on) then begin
+    if !epoch = 0L then epoch := Clock.now_ns ();
+    Atomic.set on true
+  end
+
+let disable () = Atomic.set on false
+
+(* --- metric registry (names are process-global, ids dense) --- *)
+
+let registry_mutex = Mutex.create ()
+
+type meta = { id : int; name : string; timing : bool }
+
+let counter_metas : meta list ref = ref [] (* reverse registration order *)
+
+let n_counters = ref 0
+
+let hist_metas : meta list ref = ref []
+
+let n_hists = ref 0
+
+(* [make] is idempotent by name so independent modules can share a metric
+   (e.g. "dp.noise_draws" is bumped from both lib/dp and the Laplace
+   mechanism in lib/query). *)
+let register metas n ~timing name =
+  Mutex.lock registry_mutex;
+  let m =
+    match List.find_opt (fun m -> String.equal m.name name) !metas with
+    | Some m -> m
+    | None ->
+      let m = { id = !n; name; timing } in
+      incr n;
+      metas := m :: !metas;
+      m
+  in
+  Mutex.unlock registry_mutex;
+  m
+
+(* --- log-bucketed histograms --- *)
+
+let buckets = 64
+
+(* Bucket 0 holds v <= 0 and non-finite values; bucket b in [1, 63] holds
+   v with floor(log2 v) = b - 24 (clamped), i.e. upper bound 2^(b - 23).
+   The span covers ~1e-7 .. ~1e12, enough for noise magnitudes and
+   nanosecond latencies alike. *)
+let bucket_of v =
+  if not (Float.is_finite v) || v <= 0. then 0
+  else begin
+    let e = int_of_float (Float.floor (Float.log2 v)) in
+    let b = e + 24 in
+    if b < 1 then 1 else if b > 63 then 63 else b
+  end
+
+let bucket_upper b = if b = 0 then 0. else Float.pow 2. (float_of_int (b - 23))
+
+(* --- domain-local collectors --- *)
+
+type event = {
+  ev_name : string;
+  ts : int64; (* monotonic ns *)
+  dur : int64;
+  depth : int; (* span-stack depth at open, 0 = domain root *)
+  args : (string * string) list;
+}
+
+type collector = {
+  domain : int;
+  mutable counts : int array; (* indexed by counter id *)
+  mutable hists : int array array; (* hist id -> bucket counts, [||] = untouched *)
+  mutable events : event array;
+  mutable n_events : int;
+  mutable dropped : int;
+  mutable depth : int;
+}
+
+(* Traces are capped so an instrumented tight loop cannot exhaust memory;
+   overflowing events are counted, not silently lost. *)
+let max_events = 1 lsl 18
+
+let collectors : collector list ref = ref []
+
+let collector_key : collector Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      Mutex.lock registry_mutex;
+      let c =
+        {
+          domain = (Domain.self () :> int);
+          counts = Array.make (max 8 !n_counters) 0;
+          hists = Array.make (max 8 !n_hists) [||];
+          events = [||];
+          n_events = 0;
+          dropped = 0;
+          depth = 0;
+        }
+      in
+      collectors := c :: !collectors;
+      Mutex.unlock registry_mutex;
+      c)
+
+let collector () = Domain.DLS.get collector_key
+
+let reset () =
+  Mutex.lock registry_mutex;
+  List.iter
+    (fun c ->
+      Array.fill c.counts 0 (Array.length c.counts) 0;
+      Array.iter
+        (fun row -> if Array.length row > 0 then Array.fill row 0 buckets 0)
+        c.hists;
+      c.n_events <- 0;
+      c.dropped <- 0)
+    !collectors;
+  Mutex.unlock registry_mutex;
+  epoch := Clock.now_ns ()
+
+(* --- counters --- *)
+
+module Counter = struct
+  type t = meta
+
+  let make ?(timing = false) name = register counter_metas n_counters ~timing name
+
+  let add t k =
+    if Atomic.get on then begin
+      let c = collector () in
+      if t.id >= Array.length c.counts then begin
+        let a = Array.make (max (t.id + 1) ((2 * Array.length c.counts) + 8)) 0 in
+        Array.blit c.counts 0 a 0 (Array.length c.counts);
+        c.counts <- a
+      end;
+      c.counts.(t.id) <- c.counts.(t.id) + k
+    end
+
+  let incr t = add t 1
+end
+
+(* --- histograms --- *)
+
+module Histogram = struct
+  type t = meta
+
+  let make ?(timing = false) name = register hist_metas n_hists ~timing name
+
+  let observe t v =
+    if Atomic.get on then begin
+      let c = collector () in
+      if t.id >= Array.length c.hists then begin
+        let a =
+          Array.make (max (t.id + 1) ((2 * Array.length c.hists) + 8)) [||]
+        in
+        Array.blit c.hists 0 a 0 (Array.length c.hists);
+        c.hists <- a
+      end;
+      let row =
+        let r = c.hists.(t.id) in
+        if Array.length r > 0 then r
+        else begin
+          let r = Array.make buckets 0 in
+          c.hists.(t.id) <- r;
+          r
+        end
+      in
+      let b = bucket_of v in
+      row.(b) <- row.(b) + 1
+    end
+end
+
+(* --- spans --- *)
+
+let record c ev =
+  if c.n_events >= max_events then c.dropped <- c.dropped + 1
+  else begin
+    if c.n_events >= Array.length c.events then begin
+      let cap = min max_events (max 256 (2 * Array.length c.events)) in
+      let a = Array.make cap ev in
+      Array.blit c.events 0 a 0 c.n_events;
+      c.events <- a
+    end;
+    c.events.(c.n_events) <- ev;
+    c.n_events <- c.n_events + 1
+  end
+
+(* Nesting is tracked per-collector, so a span can never have a
+   cross-domain parent; the recorded depth reconstructs the stack. [argsf]
+   is evaluated at close, for arguments only known then (items stolen). *)
+let with_span ?(args = []) ?argsf name f =
+  if not (Atomic.get on) then f ()
+  else begin
+    let c = collector () in
+    let depth = c.depth in
+    c.depth <- depth + 1;
+    let t0 = Clock.now_ns () in
+    let finish () =
+      let t1 = Clock.now_ns () in
+      c.depth <- depth;
+      let args = match argsf with None -> args | Some g -> args @ g () in
+      record c { ev_name = name; ts = t0; dur = Int64.sub t1 t0; depth; args }
+    in
+    match f () with
+    | v ->
+      finish ();
+      v
+    | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      finish ();
+      Printexc.raise_with_backtrace e bt
+  end
+
+(* --- snapshot --- *)
+
+type hist = {
+  h_name : string;
+  h_timing : bool;
+  h_count : int;
+  h_buckets : (int * int) list; (* nonzero (bucket index, count), ascending *)
+}
+
+type domain_report = {
+  tid : int; (* dense track index, ascending domain id *)
+  domain_id : int;
+  events : event list;
+  busy_ns : int64; (* sum of root-span durations *)
+  ev_dropped : int;
+}
+
+type report = {
+  epoch_ns : int64;
+  jobs : int;
+  counters : (meta * int) list; (* ascending name *)
+  histograms : hist list; (* ascending name *)
+  domains : domain_report list;
+}
+
+let snapshot ?(jobs = 1) () =
+  Mutex.lock registry_mutex;
+  let cs = List.sort (fun a b -> compare a.domain b.domain) !collectors in
+  let cmetas = List.rev !counter_metas in
+  let hmetas = List.rev !hist_metas in
+  Mutex.unlock registry_mutex;
+  let counters =
+    List.map
+      (fun m ->
+        let total =
+          List.fold_left
+            (fun acc c ->
+              acc + (if m.id < Array.length c.counts then c.counts.(m.id) else 0))
+            0 cs
+        in
+        (m, total))
+      cmetas
+    |> List.sort (fun ((a : meta), _) (b, _) -> String.compare a.name b.name)
+  in
+  let histograms =
+    List.map
+      (fun m ->
+        let acc = Array.make buckets 0 in
+        List.iter
+          (fun c ->
+            if m.id < Array.length c.hists then begin
+              let row = c.hists.(m.id) in
+              if Array.length row > 0 then
+                for b = 0 to buckets - 1 do
+                  acc.(b) <- acc.(b) + row.(b)
+                done
+            end)
+          cs;
+        let count = Array.fold_left ( + ) 0 acc in
+        let bs = ref [] in
+        for b = buckets - 1 downto 0 do
+          if acc.(b) > 0 then bs := (b, acc.(b)) :: !bs
+        done;
+        { h_name = m.name; h_timing = m.timing; h_count = count; h_buckets = !bs })
+      hmetas
+    |> List.sort (fun a b -> String.compare a.h_name b.h_name)
+  in
+  let domains =
+    List.mapi
+      (fun tid (c : collector) ->
+        let events = Array.to_list (Array.sub c.events 0 c.n_events) in
+        let busy =
+          List.fold_left
+            (fun acc (e : event) ->
+              if e.depth = 0 then Int64.add acc e.dur else acc)
+            0L events
+        in
+        {
+          tid;
+          domain_id = c.domain;
+          events;
+          busy_ns = busy;
+          ev_dropped = c.dropped;
+        })
+      cs
+  in
+  { epoch_ns = !epoch; jobs; counters; histograms; domains }

@@ -1,0 +1,42 @@
+(* Obs — the telemetry facade.
+
+   Spans (monotonic-clock timed scopes with parent nesting), counters and
+   log-bucketed histograms, aggregated domain-locally (Domain.DLS) and
+   merged deterministically in domain-index order at snapshot. Disabled
+   (the default), every primitive compiles down to one atomic flag read
+   and a branch; nothing here ever draws randomness, so telemetry cannot
+   perturb experiment tables.
+
+   Typical lifecycle (what bin/pso_audit.ml and bench/main.ml do):
+
+     Obs.enable ();
+     ... run instrumented work ...
+     let report = Obs.snapshot ~jobs () in
+     Obs.Export.write_file "run.trace.json" (Obs.Export.chrome_trace report);
+     Format.eprintf "%a" Obs.Export.pp_summary report
+
+   Deterministic metrics (the default) must count logical events — trials,
+   noise draws, rows evaluated — updated inside work items. Metrics of
+   wall-clock or scheduling (latencies, per-participant steal counts) must
+   be declared with ~timing:true; they are flagged in every export and
+   excluded from cross-jobs determinism checks. *)
+
+module Metric = Metric
+module Counter = Metric.Counter
+module Histogram = Metric.Histogram
+module Progress = Progress
+module Export = Export
+
+let enabled = Metric.enabled
+
+let enable = Metric.enable
+
+let disable = Metric.disable
+
+let reset = Metric.reset
+
+let with_span = Metric.with_span
+
+let snapshot = Metric.snapshot
+
+type report = Metric.report

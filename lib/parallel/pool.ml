@@ -87,11 +87,39 @@ let sequential_init n f =
     out
   end
 
+(* Telemetry: [pool.items] is a deterministic logical count (bumped inside
+   item execution, so the finish-mutex handshake orders every increment
+   before the caller returns); [pool.items_per_steal] and the span layout
+   depend on scheduling and are flagged as timing data. *)
+let c_regions = Obs.Counter.make "pool.regions"
+
+let c_items = Obs.Counter.make "pool.items"
+
+let h_items_per_steal = Obs.Histogram.make ~timing:true "pool.items_per_steal"
+
 let parallel_init_array pool n f =
   if n < 0 then invalid_arg "Pool.parallel_init_array: negative length";
   if n = 0 then [||]
-  else if pool.jobs = 1 || n = 1 then sequential_init n f
+  else if pool.jobs = 1 || n = 1 then begin
+    Obs.Counter.incr c_regions;
+    let progress = Obs.Progress.start ~total:n () in
+    let out =
+      Obs.with_span
+        ~argsf:(fun () -> [ ("items", string_of_int n) ])
+        "pool.region"
+        (fun () ->
+          sequential_init n (fun i ->
+              let v = f i in
+              Obs.Counter.incr c_items;
+              Obs.Progress.tick progress ~done_:(i + 1);
+              v))
+    in
+    Obs.Progress.finish progress ~done_:n;
+    out
+  end
   else begin
+    Obs.Counter.incr c_regions;
+    let progress = Obs.Progress.start ~total:n () in
     let slots = Array.make n None in
     let next = Atomic.make 0 in
     let finish_mutex = Mutex.create () in
@@ -103,36 +131,50 @@ let parallel_init_array pool n f =
        uneven per-index costs balance automatically. Results land in
        their index's slot, which keeps the output independent of how
        work was interleaved. *)
-    let steal () =
-      let rec loop () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < n then begin
-          (match f i with
-          | v -> slots.(i) <- Some v
-          | exception e ->
-            let bt = Printexc.get_raw_backtrace () in
-            Mutex.lock finish_mutex;
-            if !error = None then error := Some (e, bt);
-            Mutex.unlock finish_mutex);
-          Mutex.lock finish_mutex;
-          incr completed;
-          if !completed = n then Condition.signal finished;
-          Mutex.unlock finish_mutex;
-          loop ()
-        end
-      in
-      loop ()
+    let steal ~caller () =
+      let mine = ref 0 in
+      Obs.with_span
+        ~argsf:(fun () -> [ ("items", string_of_int !mine) ])
+        "pool.steal"
+        (fun () ->
+          let rec loop () =
+            let i = Atomic.fetch_and_add next 1 in
+            if i < n then begin
+              (match f i with
+              | v -> slots.(i) <- Some v
+              | exception e ->
+                let bt = Printexc.get_raw_backtrace () in
+                Mutex.lock finish_mutex;
+                if !error = None then error := Some (e, bt);
+                Mutex.unlock finish_mutex);
+              incr mine;
+              Obs.Counter.incr c_items;
+              Mutex.lock finish_mutex;
+              incr completed;
+              if !completed = n then Condition.signal finished;
+              Mutex.unlock finish_mutex;
+              if caller then Obs.Progress.tick progress ~done_:!completed;
+              loop ()
+            end
+          in
+          loop ());
+      Obs.Histogram.observe h_items_per_steal (float_of_int !mine)
     in
     let helpers = min (pool.jobs - 1) (n - 1) in
-    for _ = 1 to helpers do
-      submit pool steal
-    done;
-    steal ();
-    Mutex.lock finish_mutex;
-    while !completed < n do
-      Condition.wait finished finish_mutex
-    done;
-    Mutex.unlock finish_mutex;
+    Obs.with_span
+      ~argsf:(fun () -> [ ("items", string_of_int n) ])
+      "pool.region"
+      (fun () ->
+        for _ = 1 to helpers do
+          submit pool (steal ~caller:false)
+        done;
+        steal ~caller:true ();
+        Mutex.lock finish_mutex;
+        while !completed < n do
+          Condition.wait finished finish_mutex
+        done;
+        Mutex.unlock finish_mutex);
+    Obs.Progress.finish progress ~done_:n;
     (match !error with
     | Some (e, bt) -> Printexc.raise_with_backtrace e bt
     | None -> ());

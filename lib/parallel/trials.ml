@@ -8,10 +8,17 @@ let split_rngs rng trials =
   done;
   rngs
 
+let c_trials = Obs.Counter.make "trials.total"
+
 let map pool rng ~trials f =
   if trials < 0 then invalid_arg "Trials.map: negative trial count";
-  let rngs = split_rngs rng trials in
-  Pool.parallel_init_array pool trials (fun i -> f rngs.(i) i)
+  Obs.Counter.add c_trials trials;
+  Obs.with_span
+    ~argsf:(fun () -> [ ("trials", string_of_int trials) ])
+    "trials.map"
+    (fun () ->
+      let rngs = split_rngs rng trials in
+      Pool.parallel_init_array pool trials (fun i -> f rngs.(i) i))
 
 let fold pool rng ~trials ~init ~combine f =
   Array.fold_left combine init (map pool rng ~trials f)

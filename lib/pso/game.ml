@@ -28,6 +28,10 @@ let tally_add a b =
     weight_sum = a.weight_sum +. b.weight_sum;
   }
 
+let c_trials = Obs.Counter.make "pso.game.trials"
+let c_successes = Obs.Counter.make "pso.game.successes"
+let c_isolations = Obs.Counter.make "pso.game.isolations"
+
 let run ?pool rng ~model ~n ~mechanism ~attacker ~weight_bound ~trials =
   if n <= 0 then invalid_arg "Game.run: n";
   if trials <= 0 then invalid_arg "Game.run: trials";
@@ -39,16 +43,24 @@ let run ?pool rng ~model ~n ~mechanism ~attacker ~weight_bound ~trials =
     let p = Attacker.attack attacker trial_rng y in
     let w = Query.Predicate.weight_value (Query.Predicate.weight model p) in
     let isolated = Query.Predicate.isolates schema p x in
+    let succ = if isolated && w <= weight_bound then 1 else 0 in
+    let iso = if isolated then 1 else 0 in
+    Obs.Counter.incr c_trials;
+    Obs.Counter.add c_successes succ;
+    Obs.Counter.add c_isolations iso;
     {
-      succ = (if isolated && w <= weight_bound then 1 else 0);
-      iso = (if isolated then 1 else 0);
+      succ;
+      iso;
       heavy = (if isolated && w > weight_bound then 1 else 0);
       weight_sum = w;
     }
   in
   let t =
-    Parallel.Trials.fold pool rng ~trials ~init:tally_zero ~combine:tally_add
-      trial
+    Obs.with_span "pso.game.run"
+      ~args:[ ("trials", string_of_int trials); ("n", string_of_int n) ]
+      (fun () ->
+        Parallel.Trials.fold pool rng ~trials ~init:tally_zero
+          ~combine:tally_add trial)
   in
   {
     trials;

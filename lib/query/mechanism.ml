@@ -37,6 +37,12 @@ let exact_counts qs =
         Vector counts);
   }
 
+(* Same handles as lib/dp (Counter.make is idempotent by name): noise
+   added by the Laplace-counts mechanism is accounted with the rest. *)
+let c_noise_draws = Obs.Counter.make "dp.noise_draws"
+
+let h_noise_magnitude = Obs.Histogram.make "dp.noise_magnitude"
+
 let laplace_counts ~epsilon qs =
   if epsilon <= 0. then invalid_arg "Mechanism.laplace_counts: epsilon";
   let scale = float_of_int (max 1 (Array.length qs)) /. epsilon in
@@ -47,7 +53,14 @@ let laplace_counts ~epsilon qs =
       (fun rng table ->
         match exact.run rng table with
         | Vector counts ->
-          Vector (Array.map (fun c -> c +. Prob.Sampler.laplace rng ~scale) counts)
+          Vector
+            (Array.map
+               (fun c ->
+                 let noise = Prob.Sampler.laplace rng ~scale in
+                 Obs.Counter.incr c_noise_draws;
+                 Obs.Histogram.observe h_noise_magnitude (Float.abs noise);
+                 c +. noise)
+               counts)
         | other -> other);
   }
 

@@ -21,12 +21,15 @@ let subset_sum data q =
 
 let true_answer t q = float_of_int (subset_sum t.data q)
 
+let c_queries = Obs.Counter.make "query.oracle_queries"
+
 let ask t q =
   (match t.limit with
   | Some l when t.asked >= l -> raise Query_limit_exceeded
   | Some _ | None -> ());
   let exact = true_answer t q in
   t.asked <- t.asked + 1;
+  Obs.Counter.incr c_queries;
   t.noise q exact
 
 let check_binary data =

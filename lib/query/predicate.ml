@@ -107,7 +107,12 @@ let rec eval schema t row =
   | And (p, q) -> eval schema p row && eval schema q row
   | Or (p, q) -> eval schema p row || eval schema q row
 
+(* One row-evaluation per row scanned: the logical cost of every counting
+   query, deterministic for a deterministic workload at any --jobs. *)
+let c_evals = Obs.Counter.make "query.predicate_evals"
+
 let count schema t table =
+  Obs.Counter.add c_evals (Table.nrows table);
   Table.count (fun row -> eval schema t row) table
 
 let isolates schema t table = count schema t table = 1

@@ -9,14 +9,18 @@
 #      must match a fresh render (test/test_golden.exe check mode)
 #   4. negative-auditor smoke: the ε-DP auditor must flag the deliberately
 #      broken Laplace variant (exit 1), proving the audit has power
+#   5. observability smoke: one quick experiment with --trace + --metrics,
+#      both JSON outputs must parse, and the table on stdout must still
+#      match the committed golden byte-for-byte (telemetry must not perturb
+#      results)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 dune build
 dune runtest
 
-tmp1=$(mktemp) tmp2=$(mktemp)
-trap 'rm -f "$tmp1" "$tmp2"' EXIT
+tmp1=$(mktemp) tmp2=$(mktemp) trace=$(mktemp) metrics=$(mktemp)
+trap 'rm -f "$tmp1" "$tmp2" "$trace" "$metrics"' EXIT
 
 # The trailing "[E2 finished in X.Xs]" line is wall-clock and legitimately
 # differs between runs; everything else must match exactly.
@@ -47,4 +51,15 @@ if ! grep -q VIOLATION "$tmp1"; then
   exit 1
 fi
 
-echo "ci: ok (build + tests + jobs-determinism + golden tables + negative auditor)"
+# Observability smoke: telemetry fully on must (a) produce parseable JSON
+# for both the Chrome trace and the obs-metrics/v1 document, and (b) leave
+# the experiment table byte-identical to the committed golden snapshot.
+dune exec bin/pso_audit.exe -- run E2 --quick --seed 20210621 --jobs 2 \
+  --trace "$trace" --metrics-json "$metrics" --metrics > "$tmp1" 2> /dev/null
+dune exec bin/pso_audit.exe -- validate-json "$trace" "$metrics"
+if ! diff -u test/golden/E2.txt "$tmp1"; then
+  echo "ci: telemetry perturbed the E2 table (differs from test/golden/E2.txt)" >&2
+  exit 1
+fi
+
+echo "ci: ok (build + tests + jobs-determinism + golden tables + negative auditor + obs smoke)"

@@ -115,6 +115,104 @@ let test_pso_audit_dpcheck_passes_standard_case () =
   Alcotest.(check bool) "report printed" true (contains r.stdout "laplace");
   Alcotest.(check bool) "no case flagged" true (contains r.stdout "0/1")
 
+(* --- run + observability flags --- *)
+
+let parse_json name s =
+  match Core.Json.of_string s with
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s is not valid JSON: %s" name e
+
+let test_pso_audit_run_validation () =
+  let r = run (pso_audit [ "run"; "E2"; "--quick"; "--full" ]) in
+  Alcotest.(check int) "--quick with --full exits 2" 2 r.code;
+  Alcotest.(check bool) "conflict explained" true
+    (contains r.stderr "mutually exclusive");
+  let r = run (pso_audit [ "run"; "E99" ]) in
+  Alcotest.(check int) "unknown id exits 2" 2 r.code;
+  Alcotest.(check bool) "error names the id" true
+    (contains r.stderr "unknown experiment")
+
+let test_pso_audit_run_trace_and_metrics () =
+  let trace = Filename.temp_file "cli" ".trace.json" in
+  let metrics = Filename.temp_file "cli" ".metrics.json" in
+  let base_args id = [ "run"; id; "--quick"; "--seed"; "5" ] in
+  let plain = run (pso_audit (base_args "E2" @ [ "--jobs"; "2" ])) in
+  Alcotest.(check int) "plain run exits 0" 0 plain.code;
+  let traced =
+    run
+      (pso_audit
+         (base_args "E2"
+         @ [
+             "--jobs"; "2"; "--trace"; trace; "--metrics-json"; metrics;
+             "--metrics";
+           ]))
+  in
+  Alcotest.(check int) "traced run exits 0" 0 traced.code;
+  Alcotest.(check string)
+    "telemetry leaves stdout byte-identical" plain.stdout traced.stdout;
+  Alcotest.(check bool) "summary table lands on stderr" true
+    (contains traced.stderr "obs metrics");
+  let trace_doc = parse_json "trace" (read_file trace) in
+  (match Core.Json.member "traceEvents" trace_doc with
+  | Some (Core.Json.List (_ :: _)) -> ()
+  | _ -> Alcotest.fail "trace has no events");
+  let metrics_doc = parse_json "metrics" (read_file metrics) in
+  (match Core.Json.member "schema" metrics_doc with
+  | Some (Core.Json.String s) ->
+    Alcotest.(check string) "metrics schema" "obs-metrics/v1" s
+  | _ -> Alcotest.fail "metrics schema missing");
+  let v = run (pso_audit [ "validate-json"; trace; metrics ]) in
+  Alcotest.(check int) "validate-json accepts both files" 0 v.code;
+  Sys.remove trace;
+  Sys.remove metrics
+
+(* Non-timing counters in the exported metrics are the machine-checkable
+   determinism contract: identical at every --jobs. *)
+let test_pso_audit_metrics_jobs_invariance () =
+  let counters jobs =
+    let path = Filename.temp_file "cli" ".metrics.json" in
+    let r =
+      run
+        (pso_audit
+           [
+             "run"; "E2"; "--quick"; "--seed"; "5"; "--jobs";
+             string_of_int jobs; "--metrics-json"; path;
+           ])
+    in
+    Alcotest.(check int) (Printf.sprintf "jobs=%d exits 0" jobs) 0 r.code;
+    let doc = parse_json "metrics" (read_file path) in
+    Sys.remove path;
+    match Core.Json.member "counters" doc with
+    | Some (Core.Json.List cs) ->
+      List.filter_map
+        (fun c ->
+          match
+            (Core.Json.member "timing" c, Core.Json.member "name" c,
+             Core.Json.member "value" c)
+          with
+          | Some (Core.Json.Bool false), Some (Core.Json.String n),
+            Some (Core.Json.Number v) ->
+            Some (n, v)
+          | _ -> None)
+        cs
+    | _ -> Alcotest.fail "counters missing"
+  in
+  let c1 = counters 1 and c4 = counters 4 in
+  Alcotest.(check bool) "some counters exported" true (List.length c1 > 0);
+  Alcotest.(check (list (pair string (float 0.))))
+    "non-timing counters identical at jobs 1 and 4" c1 c4
+
+let test_pso_audit_validate_json_rejects_garbage () =
+  let bad = Filename.temp_file "cli" ".json" in
+  let oc = open_out bad in
+  output_string oc "{not json";
+  close_out oc;
+  let r = run (pso_audit [ "validate-json"; bad ]) in
+  Sys.remove bad;
+  Alcotest.(check int) "malformed JSON exits 2" 2 r.code;
+  Alcotest.(check bool) "error mentions the file" true
+    (contains r.stderr "invalid JSON")
+
 let test_pso_audit_dpcheck_flags_broken_case () =
   let r =
     run
@@ -130,6 +228,7 @@ let test_bench_bad_invocations () =
   check_fails_with_usage "bench unknown option" (bench [ "--frob" ]) ~code:2;
   check_fails_with_usage "bench anonymous argument" (bench [ "E2" ]) ~code:2;
   check_fails_with_usage "bench jobs zero" (bench [ "--jobs"; "0" ]) ~code:2;
+  check_fails_with_usage "bench negative jobs" (bench [ "--jobs=-2" ]) ~code:2;
   let r = run (bench [ "--only"; "E99" ]) in
   Alcotest.(check int) "bench unknown --only exits 2" 2 r.code;
   Alcotest.(check bool) "error names the id" true (contains r.stderr "E99");
@@ -163,6 +262,13 @@ let () =
             test_pso_audit_dpcheck_passes_standard_case;
           Alcotest.test_case "dpcheck broken flagged" `Slow
             test_pso_audit_dpcheck_flags_broken_case;
+          Alcotest.test_case "run validation" `Quick test_pso_audit_run_validation;
+          Alcotest.test_case "run with trace and metrics" `Slow
+            test_pso_audit_run_trace_and_metrics;
+          Alcotest.test_case "metrics jobs invariance" `Slow
+            test_pso_audit_metrics_jobs_invariance;
+          Alcotest.test_case "validate-json rejects garbage" `Quick
+            test_pso_audit_validate_json_rejects_garbage;
         ] );
       ( "bench",
         [

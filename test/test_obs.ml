@@ -1,0 +1,301 @@
+(* Tests for the Obs telemetry subsystem (lib/obs):
+
+   - deterministic merge: non-timing counters and histogram buckets are
+     identical at jobs = 1 / 2 / 4 for the same seeded workload;
+   - span nesting is well-formed: every recorded span closed, children lie
+     inside a same-domain parent at the next shallower depth (the collector
+     is domain-local, so cross-domain parents are impossible by
+     construction — the check documents it);
+   - obs-metrics/v1 round-trips through Core.Json parse/render;
+   - the Chrome trace has one named track per domain and at least two
+     domains once workers participate;
+   - disabled telemetry is a no-op and records nothing;
+   - histogram bucket edges handle zero / negative / non-finite / extreme
+     values;
+   - enabling telemetry does not perturb an experiment table. *)
+
+let with_pool jobs f =
+  let pool = Parallel.Pool.create ~jobs () in
+  Fun.protect ~finally:(fun () -> Parallel.Pool.shutdown pool) (fun () -> f pool)
+
+(* Every test leaves the flag off so suites stay independent. *)
+let with_obs f =
+  Obs.reset ();
+  Obs.enable ();
+  Fun.protect ~finally:Obs.disable f
+
+let c_trials = Obs.Counter.make "test.obs.trials"
+
+let c_sum = Obs.Counter.make "test.obs.sum"
+
+let h_values = Obs.Histogram.make "test.obs.values"
+
+(* A seeded Monte Carlo workload touching counters, histograms and the
+   instrumented pool/dp paths; returns the snapshot. *)
+let workload jobs =
+  with_obs (fun () ->
+      with_pool jobs (fun pool ->
+          let rng = Prob.Rng.create ~seed:7L () in
+          let results =
+            Parallel.Trials.map pool rng ~trials:64 (fun trial_rng i ->
+                Obs.Counter.incr c_trials;
+                Obs.Counter.add c_sum i;
+                let v = Prob.Rng.uniform trial_rng *. 100. in
+                Obs.Histogram.observe h_values v;
+                Dp.Laplace.sum trial_rng ~epsilon:1. ~lo:0. ~hi:1. [| v |])
+          in
+          ignore (results : float array);
+          Obs.snapshot ~jobs ()))
+
+let deterministic_counters (r : Obs.report) =
+  List.filter_map
+    (fun ((m : Obs.Metric.meta), v) ->
+      if m.Obs.Metric.timing then None else Some (m.Obs.Metric.name, v))
+    r.Obs.Metric.counters
+
+let deterministic_hists (r : Obs.report) =
+  List.filter_map
+    (fun (h : Obs.Metric.hist) ->
+      if h.Obs.Metric.h_timing then None
+      else Some (h.Obs.Metric.h_name, h.Obs.Metric.h_buckets))
+    r.Obs.Metric.histograms
+
+let test_counters_jobs_independent () =
+  let base = workload 1 in
+  let base_counters = deterministic_counters base in
+  let base_hists = deterministic_hists base in
+  (* The workload really counted something. *)
+  Alcotest.(check (option int))
+    "64 trials counted" (Some 64)
+    (List.assoc_opt "test.obs.trials" base_counters);
+  Alcotest.(check (option int))
+    "index sum" (Some (63 * 64 / 2))
+    (List.assoc_opt "test.obs.sum" base_counters);
+  Alcotest.(check bool)
+    "dp draws counted" true
+    (match List.assoc_opt "dp.noise_draws" base_counters with
+    | Some v -> v >= 64
+    | None -> false);
+  List.iter
+    (fun jobs ->
+      let r = workload jobs in
+      Alcotest.(check (list (pair string int)))
+        (Printf.sprintf "counters at jobs=%d match jobs=1" jobs)
+        base_counters (deterministic_counters r);
+      Alcotest.(check (list (pair string (list (pair int int)))))
+        (Printf.sprintf "histogram buckets at jobs=%d match jobs=1" jobs)
+        base_hists (deterministic_hists r))
+    [ 2; 4 ]
+
+(* --- span nesting --- *)
+
+let span_end (e : Obs.Metric.event) = Int64.add e.Obs.Metric.ts e.Obs.Metric.dur
+
+let test_span_nesting () =
+  let report =
+    with_obs (fun () ->
+        Obs.with_span "outer" (fun () ->
+            Obs.with_span "mid" (fun () ->
+                Obs.with_span "inner" (fun () -> ignore (Sys.opaque_identity 1)));
+            Obs.with_span "mid2" (fun () -> ()));
+        (try
+           Obs.with_span "raises" (fun () -> failwith "boom")
+         with Failure _ -> ());
+        Obs.snapshot ())
+  in
+  let all_events =
+    List.concat_map (fun (d : Obs.Metric.domain_report) -> d.Obs.Metric.events)
+      report.Obs.Metric.domains
+  in
+  Alcotest.(check int) "five spans recorded" 5 (List.length all_events);
+  Alcotest.(check bool)
+    "exception path still records its span" true
+    (List.exists
+       (fun (e : Obs.Metric.event) -> e.Obs.Metric.ev_name = "raises")
+       all_events);
+  List.iter
+    (fun (d : Obs.Metric.domain_report) ->
+      List.iter
+        (fun (e : Obs.Metric.event) ->
+          Alcotest.(check bool)
+            (e.Obs.Metric.ev_name ^ " has non-negative duration")
+            true
+            (e.Obs.Metric.dur >= 0L);
+          if e.Obs.Metric.depth > 0 then
+            (* A same-domain parent one level up encloses the child. *)
+            Alcotest.(check bool)
+              (e.Obs.Metric.ev_name ^ " has an enclosing same-domain parent")
+              true
+              (List.exists
+                 (fun (p : Obs.Metric.event) ->
+                   p.Obs.Metric.depth = e.Obs.Metric.depth - 1
+                   && p.Obs.Metric.ts <= e.Obs.Metric.ts
+                   && span_end p >= span_end e)
+                 d.Obs.Metric.events))
+        d.Obs.Metric.events)
+    report.Obs.Metric.domains
+
+(* --- JSON round-trips --- *)
+
+let roundtrip name doc =
+  let s = Core.Json.to_string ~pretty:true doc in
+  match Core.Json.of_string s with
+  | Error e -> Alcotest.failf "%s did not parse back: %s" name e
+  | Ok parsed ->
+    Alcotest.(check bool) (name ^ " round-trips") true (Core.Json.equal doc parsed)
+
+let test_metrics_json_roundtrip () =
+  let report = workload 2 in
+  let doc = Obs.Export.metrics_json report in
+  roundtrip "obs-metrics/v1" doc;
+  (match Core.Json.member "schema" doc with
+  | Some (Core.Json.String s) ->
+    Alcotest.(check string) "schema field" "obs-metrics/v1" s
+  | _ -> Alcotest.fail "schema field missing");
+  roundtrip "chrome trace" (Obs.Export.chrome_trace report)
+
+(* --- Chrome trace shape --- *)
+
+let test_chrome_trace_tracks () =
+  let report =
+    with_obs (fun () ->
+        with_pool 4 (fun pool ->
+            (* Sleeping items yield the processor, so worker domains claim
+               work (and register collectors) even on a single core. *)
+            ignore
+              (Parallel.Pool.parallel_init_array pool 32 (fun i ->
+                   Unix.sleepf 0.002;
+                   i));
+            Obs.snapshot ~jobs:4 ()))
+  in
+  Alcotest.(check bool)
+    "at least two domain tracks" true
+    (List.length report.Obs.Metric.domains >= 2);
+  let doc = Obs.Export.chrome_trace report in
+  let events =
+    match Core.Json.member "traceEvents" doc with
+    | Some (Core.Json.List l) -> l
+    | _ -> Alcotest.fail "traceEvents missing"
+  in
+  let field name ev =
+    match Core.Json.member name ev with
+    | Some v -> v
+    | None -> Alcotest.failf "trace event lacks %S" name
+  in
+  let tids = Hashtbl.create 8 in
+  List.iter
+    (fun ev ->
+      (match field "tid" ev with
+      | Core.Json.Number t -> Hashtbl.replace tids t ()
+      | _ -> Alcotest.fail "tid not a number");
+      match field "ph" ev with
+      | Core.Json.String "M" ->
+        Alcotest.(check string)
+          "metadata names the thread" "thread_name"
+          (match field "name" ev with Core.Json.String s -> s | _ -> "?")
+      | Core.Json.String "X" ->
+        ignore (field "ts" ev);
+        ignore (field "dur" ev)
+      | _ -> Alcotest.fail "unexpected event phase")
+    events;
+  Alcotest.(check bool)
+    "two or more tracks in the trace" true (Hashtbl.length tids >= 2)
+
+(* --- disabled is a no-op --- *)
+
+let test_disabled_noop () =
+  Obs.reset ();
+  Obs.disable ();
+  Alcotest.(check int) "with_span passes the value through" 9
+    (Obs.with_span "ignored" (fun () -> 9));
+  Obs.Counter.add c_sum 1000;
+  Obs.Histogram.observe h_values 42.;
+  let r = Obs.snapshot () in
+  Alcotest.(check (option int))
+    "counter untouched while disabled" (Some 0)
+    (List.assoc_opt "test.obs.sum" (deterministic_counters r));
+  Alcotest.(check bool)
+    "no spans recorded while disabled" true
+    (List.for_all
+       (fun (d : Obs.Metric.domain_report) -> d.Obs.Metric.events = [])
+       r.Obs.Metric.domains)
+
+(* --- histogram bucket edges --- *)
+
+let test_bucket_edges () =
+  let check_bucket msg v expected =
+    Alcotest.(check int) msg expected (Obs.Metric.bucket_of v)
+  in
+  check_bucket "zero" 0. 0;
+  check_bucket "negative" (-5.) 0;
+  check_bucket "nan" Float.nan 0;
+  check_bucket "infinity" Float.infinity 0;
+  check_bucket "tiny clamps to first real bucket" 1e-30 1;
+  check_bucket "huge clamps to last bucket" 1e30 63;
+  check_bucket "one" 1. 24;
+  Alcotest.(check (float 0.)) "underflow bucket upper bound" 0.
+    (Obs.Metric.bucket_upper 0);
+  for b = 2 to 63 do
+    Alcotest.(check bool)
+      (Printf.sprintf "bucket uppers increase at %d" b)
+      true
+      (Obs.Metric.bucket_upper b > Obs.Metric.bucket_upper (b - 1))
+  done;
+  let observed =
+    with_obs (fun () ->
+        Obs.Histogram.observe h_values 1.;
+        Obs.Histogram.observe h_values 0.;
+        Obs.snapshot ())
+  in
+  Alcotest.(check (option (list (pair int int))))
+    "observations land in their buckets"
+    (Some [ (0, 1); (24, 1) ])
+    (List.assoc_opt "test.obs.values" (deterministic_hists observed))
+
+(* --- telemetry does not perturb tables --- *)
+
+let render_e2 () =
+  match Experiments.Registry.find "E2" with
+  | None -> Alcotest.fail "E2 missing from the registry"
+  | Some e ->
+    let rng = Prob.Rng.create ~seed:20210621L () in
+    let buf = Buffer.create 4096 in
+    let fmt = Format.formatter_of_buffer buf in
+    e.Experiments.Registry.print ~scale:Experiments.Common.Quick rng fmt;
+    Format.pp_print_flush fmt ();
+    Buffer.contents buf
+
+let test_tables_unperturbed () =
+  Parallel.Pool.set_default_jobs 2;
+  Obs.disable ();
+  let plain = render_e2 () in
+  let traced = with_obs render_e2 in
+  Alcotest.(check string) "E2 table identical with telemetry enabled" plain
+    traced
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "determinism",
+        [
+          Alcotest.test_case "counters independent of jobs" `Slow
+            test_counters_jobs_independent;
+          Alcotest.test_case "tables unperturbed" `Slow test_tables_unperturbed;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "nesting well-formed" `Quick test_span_nesting;
+          Alcotest.test_case "chrome trace tracks" `Slow
+            test_chrome_trace_tracks;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "metrics json round-trip" `Slow
+            test_metrics_json_roundtrip;
+        ] );
+      ( "edges",
+        [
+          Alcotest.test_case "disabled is a no-op" `Quick test_disabled_noop;
+          Alcotest.test_case "histogram buckets" `Quick test_bucket_edges;
+        ] );
+    ]
