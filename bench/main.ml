@@ -141,22 +141,76 @@ let obs_overhead_tests () =
            if not was then Obs.disable ()));
   ]
 
+(* The query-engine kernel triple: one fixed predicate counted over a fixed
+   10k-row synthetic table by each evaluation strategy. "interp" walks rows
+   through the reference interpreter; "compiled" rematerializes the atom
+   bitsets every run (~cache:false — the cold cost); "bitset" hits the
+   domain-local atom cache, so a count is word-wise combines plus a
+   popcount loop (the steady state inside the PSO game, where many
+   predicates probe one trial table). Each run cross-checks the count
+   against the interpreter's answer, so the timing rows double as an
+   equivalence assertion. *)
+let predicate_bench_rows = 10_000
+
+let predicate_bench =
+  lazy
+    (let model = Dataset.Synth.pso_model ~attributes:6 ~values_per_attribute:12 in
+     let rng = Prob.Rng.create ~seed:77L () in
+     let table = Dataset.Model.sample_table rng model predicate_bench_rows in
+     let schema = Dataset.Model.schema model in
+     let open Query.Predicate in
+     let p =
+       And
+         ( Atom (Member ("a0", [ Dataset.Value.Int 0; Dataset.Value.Int 3; Dataset.Value.Int 7 ])),
+           Or
+             ( Atom (Range ("a1", 2., 9.)),
+               Not (Atom (Eq ("a2", Dataset.Value.Int 3))) ) )
+     in
+     (schema, table, p))
+
+let predicate_kernel_tests () =
+  let schema, table, p = Lazy.force predicate_bench in
+  let compiled = Query.Predicate.compile schema p in
+  let expected = Query.Predicate.count_interpreted schema p table in
+  let check got =
+    if got <> expected then failwith "predicate kernel: engines disagree"
+  in
+  [
+    Test.make ~name:"predicate-count-interp"
+      (Staged.stage (fun () ->
+           check (Query.Predicate.count_interpreted schema p table)));
+    Test.make ~name:"predicate-count-compiled"
+      (Staged.stage (fun () ->
+           check (Query.Predicate.count_compiled ~cache:false compiled table)));
+    Test.make ~name:"predicate-count-bitset"
+      (Staged.stage (fun () ->
+           check (Query.Predicate.count_compiled compiled table)));
+  ]
+
+let predicates_only only =
+  match only with
+  | Some s -> String.lowercase_ascii s = "predicates"
+  | None -> false
+
 let perf_benchmarks ~only ~json ~jobs () =
   let tests =
-    Experiments.Registry.all
-    |> List.filter (selected only)
-    |> List.map (fun (e : Experiments.Registry.entry) ->
-           Test.make
-             ~name:(Printf.sprintf "%s-kernel" e.Experiments.Registry.id)
-             (Staged.stage (fun () ->
-                  (* A fresh deterministic generator per run keeps the work
-                     identical across samples. *)
-                  e.Experiments.Registry.kernel (Prob.Rng.create ~seed:1L ()))))
+    if predicates_only only then predicate_kernel_tests ()
+    else
+      Experiments.Registry.all
+      |> List.filter (selected only)
+      |> List.map (fun (e : Experiments.Registry.entry) ->
+             Test.make
+               ~name:(Printf.sprintf "%s-kernel" e.Experiments.Registry.id)
+               (Staged.stage (fun () ->
+                    (* A fresh deterministic generator per run keeps the work
+                       identical across samples. *)
+                    e.Experiments.Registry.kernel (Prob.Rng.create ~seed:1L ()))))
   in
-  (* --only narrows to a single experiment kernel (a contract test_json
-     pins); the overhead pair rides along only on full runs. *)
+  (* --only narrows to one experiment kernel or the predicate triple (a
+     contract test_json pins); the extras ride along only on full runs. *)
   let tests =
-    if only = None then tests @ obs_overhead_tests () else tests
+    if only = None then tests @ predicate_kernel_tests () @ obs_overhead_tests ()
+    else tests
   in
   let grouped = Test.make_grouped ~name:"experiments" tests in
   let cfg =
@@ -211,7 +265,9 @@ let () =
       ("--full", Arg.Set full, "full-scale experiment parameters (slow)");
       ("--no-tables", Arg.Clear tables, "skip the experiment tables");
       ("--no-perf", Arg.Clear perf, "skip the Bechamel timings");
-      ("--only", Arg.String (fun s -> only := Some s), "run a single experiment id");
+      ( "--only",
+        Arg.String (fun s -> only := Some s),
+        "run a single experiment id ('predicates' selects the query-engine kernel triple)" );
       ("--jobs", Arg.Set_int jobs, "worker domains for Monte Carlo trials (default: cores - 1)");
       ( "--speedup",
         Arg.Set speedup,
@@ -242,7 +298,8 @@ let () =
     exit 2
   end;
   (match !only with
-  | Some id when Experiments.Registry.find id = None ->
+  | Some id
+    when (not (predicates_only !only)) && Experiments.Registry.find id = None ->
     Format.eprintf "bench: unknown experiment id %s (valid: %s)@." id
       (String.concat ", "
          (List.map

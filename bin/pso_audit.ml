@@ -44,6 +44,31 @@ let set_jobs =
       end;
       Parallel.Pool.set_default_jobs j)
 
+(* Query evaluation engine (see Query.Predicate). Results are identical
+   under every engine; check mode cross-validates the compiled path
+   against the reference interpreter and fails loudly on divergence. The
+   flag overrides the PSO_QUERY_ENGINE environment variable. *)
+let engine_arg =
+  Arg.(
+    value
+    & opt
+        (some
+           (enum
+              [
+                ("interp", Query.Predicate.Interpreted);
+                ("bitset", Query.Predicate.Compiled);
+                ("check", Query.Predicate.Checked);
+              ]))
+        None
+    & info [ "engine" ] ~docv:"E"
+        ~doc:
+          "Query evaluation engine: $(b,interp) (reference row-by-row \
+           interpreter), $(b,bitset) (compiled columnar engine, the \
+           default) or $(b,check) (run both and fail on any divergence). \
+           Results do not depend on this.")
+
+let set_engine = Option.iter Query.Predicate.set_engine
+
 (* --- observability flags --- *)
 
 type obs_cfg = {
@@ -213,8 +238,9 @@ let anonymize_cmd =
 type game_target = Count | Dp_count | Kanon_member | Kanon_class
 
 let game_cmd =
-  let run seed jobs n trials target obs =
+  let run seed jobs engine n trials target obs =
     set_jobs jobs;
+    set_engine engine;
     exit_with @@ with_obs obs
     @@ fun () ->
     let rng = rng_of_seed seed in
@@ -278,8 +304,8 @@ let game_cmd =
   Cmd.v
     (Cmd.info "game" ~doc:"Run the PSO security game (Definition 2.4).")
     Term.(
-      const run $ seed_arg $ jobs_arg $ n_arg 120 $ trials_arg $ target_arg
-      $ obs_term)
+      const run $ seed_arg $ jobs_arg $ engine_arg $ n_arg 120 $ trials_arg
+      $ target_arg $ obs_term)
 
 (* --- audit --- *)
 
@@ -292,8 +318,9 @@ type audit_target =
   | A_synthetic
 
 let audit_cmd =
-  let run seed jobs n trials target obs =
+  let run seed jobs engine n trials target obs =
     set_jobs jobs;
+    set_engine engine;
     exit_with @@ with_obs obs
     @@ fun () ->
     let rng = rng_of_seed seed in
@@ -362,14 +389,15 @@ let audit_cmd =
     (Cmd.info "audit"
        ~doc:"Run the standard PSO attacker battery against a mechanism.")
     Term.(
-      const run $ seed_arg $ jobs_arg $ n_arg 120 $ trials_arg $ target_arg
-      $ obs_term)
+      const run $ seed_arg $ jobs_arg $ engine_arg $ n_arg 120 $ trials_arg
+      $ target_arg $ obs_term)
 
 (* --- theorems --- *)
 
 let theorems_cmd =
-  let run seed jobs n trials obs =
+  let run seed jobs engine n trials obs =
     set_jobs jobs;
+    set_engine engine;
     exit_with @@ with_obs obs
     @@ fun () ->
     let rng = rng_of_seed seed in
@@ -388,13 +416,16 @@ let theorems_cmd =
   in
   Cmd.v
     (Cmd.info "theorems" ~doc:"Run the executable theorem battery.")
-    Term.(const run $ seed_arg $ jobs_arg $ n_arg 150 $ trials_arg $ obs_term)
+    Term.(
+      const run $ seed_arg $ jobs_arg $ engine_arg $ n_arg 150 $ trials_arg
+      $ obs_term)
 
 (* --- report --- *)
 
 let report_cmd =
-  let run seed jobs n trials obs =
+  let run seed jobs engine n trials obs =
     set_jobs jobs;
+    set_engine engine;
     exit_with @@ with_obs obs
     @@ fun () ->
     let rng = rng_of_seed seed in
@@ -407,13 +438,16 @@ let report_cmd =
   in
   Cmd.v
     (Cmd.info "report" ~doc:"Print the full legal-technical audit report.")
-    Term.(const run $ seed_arg $ jobs_arg $ n_arg 150 $ trials_arg $ obs_term)
+    Term.(
+      const run $ seed_arg $ jobs_arg $ engine_arg $ n_arg 150 $ trials_arg
+      $ obs_term)
 
 (* --- dpcheck --- *)
 
 let dpcheck_cmd =
-  let run seed jobs trials confidence battery mechanism obs =
+  let run seed jobs engine trials confidence battery mechanism obs =
     set_jobs jobs;
+    set_engine engine;
     if trials < 1 then begin
       Format.eprintf "pso_audit: --trials must be >= 1 (got %d)@." trials;
       exit 2
@@ -491,13 +525,14 @@ let dpcheck_cmd =
          "Empirically audit the eps-DP mechanisms (Definition 1.2); exits 1 \
           when a statistically certified violation is found.")
     Term.(
-      const run $ seed_arg $ jobs_arg $ trials_arg $ confidence_arg
-      $ battery_arg $ mechanism_arg $ obs_term)
+      const run $ seed_arg $ jobs_arg $ engine_arg $ trials_arg
+      $ confidence_arg $ battery_arg $ mechanism_arg $ obs_term)
 
 (* --- experiment / run --- *)
 
-let run_experiments ~seed ~jobs ~scale ~obs id =
+let run_experiments ~seed ~jobs ~engine ~scale ~obs id =
   set_jobs jobs;
+  set_engine engine;
   (* Validate the id before enabling telemetry so a typo exits cleanly. *)
   let entries =
     if String.lowercase_ascii id = "all" then Experiments.Registry.all
@@ -525,18 +560,20 @@ let full_arg =
   Arg.(value & flag & info [ "full" ] ~doc:"Full-scale parameters (slower).")
 
 let experiment_cmd =
-  let run seed jobs full id obs =
+  let run seed jobs engine full id obs =
     let scale =
       if full then Experiments.Common.Full else Experiments.Common.Quick
     in
-    run_experiments ~seed ~jobs ~scale ~obs id
+    run_experiments ~seed ~jobs ~engine ~scale ~obs id
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Run an experiment from DESIGN.md's index.")
-    Term.(const run $ seed_arg $ jobs_arg $ full_arg $ id_arg $ obs_term)
+    Term.(
+      const run $ seed_arg $ jobs_arg $ engine_arg $ full_arg $ id_arg
+      $ obs_term)
 
 let run_cmd =
-  let run seed jobs quick full id obs =
+  let run seed jobs engine quick full id obs =
     if quick && full then begin
       Format.eprintf "pso_audit: --quick and --full are mutually exclusive@.";
       exit 2
@@ -544,7 +581,7 @@ let run_cmd =
     let scale =
       if full then Experiments.Common.Full else Experiments.Common.Quick
     in
-    run_experiments ~seed ~jobs ~scale ~obs id
+    run_experiments ~seed ~jobs ~engine ~scale ~obs id
   in
   let quick_arg =
     Arg.(
@@ -556,7 +593,9 @@ let run_cmd =
        ~doc:
          "Run an experiment from DESIGN.md's index (alias of experiment with \
           an explicit --quick/--full scale choice).")
-    Term.(const run $ seed_arg $ jobs_arg $ quick_arg $ full_arg $ id_arg $ obs_term)
+    Term.(
+      const run $ seed_arg $ jobs_arg $ engine_arg $ quick_arg $ full_arg
+      $ id_arg $ obs_term)
 
 (* --- validate-json --- *)
 

@@ -28,12 +28,10 @@ let finish ~truth ~queries_used estimate =
   in
   { estimate; hamming_errors; agreement = agreement estimate truth; queries_used }
 
+(* Callers guarantee n <= 16, so masks fit Query.Bitset's shared 16-bit
+   popcount table — sizing the subset is one load instead of a bit loop. *)
 let mask_to_subset n mask =
-  let size = ref 0 in
-  for i = 0 to n - 1 do
-    if mask land (1 lsl i) <> 0 then incr size
-  done;
-  let out = Array.make !size 0 in
+  let out = Array.make (Query.Bitset.popcount16 mask) 0 in
   let j = ref 0 in
   for i = 0 to n - 1 do
     if mask land (1 lsl i) <> 0 then begin
@@ -42,19 +40,6 @@ let mask_to_subset n mask =
     end
   done;
   out
-
-(* The exhaustive search popcounts every (candidate AND mask) pair —
-   O(4^n) of them — so the bit loop is the kernel's hot instruction. A
-   16-bit table (the attack rejects n > 16) turns it into one load. *)
-let popcount16 =
-  lazy
-    (let t = Bytes.create 65536 in
-     Bytes.set t 0 '\000';
-     for m = 1 to 65535 do
-       Bytes.set t m
-         (Char.chr (Char.code (Bytes.get t (m lsr 1)) + (m land 1)))
-     done;
-     t)
 
 let exhaustive oracle ~truth =
   Obs.with_span "attacks.exhaustive" @@ fun () ->
@@ -67,9 +52,10 @@ let exhaustive oracle ~truth =
     answers.(mask) <- Query.Oracle.ask oracle (mask_to_subset n mask)
   done;
   (* Popcount of (candidate AND query-mask) is the candidate's exact answer;
-     pick the candidate minimizing the worst violation. *)
-  let pop = Lazy.force popcount16 in
-  let popcount m = Char.code (Bytes.unsafe_get pop m) in
+     pick the candidate minimizing the worst violation. The exhaustive
+     search popcounts every (candidate AND mask) pair — O(4^n) of them — so
+     the 16-bit table load is the kernel's hot instruction. *)
+  let popcount = Query.Bitset.popcount16 in
   let best = ref 0 in
   let best_violation = ref infinity in
   for candidate = 0 to nmasks - 1 do

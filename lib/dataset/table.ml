@@ -1,6 +1,32 @@
 type row = Value.t array
 
-type t = { schema : Schema.t; rows : row array }
+module Vmap = Map.Make (Value)
+
+(* One attribute of the columnar view. [codes] dictionary-encodes the rows'
+   values (codes dense, first-appearance order); [dict] maps a code back to
+   its value; [floats] is the numeric view ([Value.to_float], [nan] when the
+   value has none) so range scans never touch boxed values. *)
+type column = {
+  codes : int array;
+  dict : Value.t array;
+  code_index : int Vmap.t;
+  floats : float array;
+}
+
+type t = {
+  schema : Schema.t;
+  rows : row array;
+  id : int;
+  mutable cols : column array option;
+}
+
+(* Every table (including derived ones: filter, select, append, ...) gets a
+   fresh generation id, so caches keyed by [id t] can never serve a bitset
+   or digest column computed for different contents. *)
+let next_id = Atomic.make 0
+
+let create schema rows =
+  { schema; rows; id = Atomic.fetch_and_add next_id 1; cols = None }
 
 let validate schema rows =
   let arity = Schema.arity schema in
@@ -25,11 +51,13 @@ let validate schema rows =
 
 let make schema rows =
   validate schema rows;
-  { schema; rows }
+  create schema rows
 
 let schema t = t.schema
 
 let nrows t = Array.length t.rows
+
+let id t = t.id
 
 let row t i = t.rows.(i)
 
@@ -37,25 +65,72 @@ let rows t = t.rows
 
 let value t i name = t.rows.(i).(Schema.index_of t.schema name)
 
+(* --- columnar view --- *)
+
+let build_column rows j =
+  let n = Array.length rows in
+  let codes = Array.make n 0 in
+  let floats = Array.make n Float.nan in
+  let index = ref Vmap.empty in
+  let dict = ref [] in
+  let next = ref 0 in
+  for i = 0 to n - 1 do
+    let v = rows.(i).(j) in
+    let code =
+      match Vmap.find_opt v !index with
+      | Some c -> c
+      | None ->
+        let c = !next in
+        incr next;
+        index := Vmap.add v c !index;
+        dict := v :: !dict;
+        c
+    in
+    codes.(i) <- code;
+    (match Value.to_float v with Some f -> floats.(i) <- f | None -> ())
+  done;
+  {
+    codes;
+    dict = Array.of_list (List.rev !dict);
+    code_index = !index;
+    floats;
+  }
+
+let columns t =
+  match t.cols with
+  | Some c -> c
+  | None ->
+    (* Built from immutable rows, so a concurrent double-build is an
+       idempotent race: both domains compute structurally identical columns
+       and either write may win. Never mutated after publication. *)
+    let c = Array.init (Schema.arity t.schema) (fun j -> build_column t.rows j) in
+    t.cols <- Some c;
+    c
+
+let code_of col v = Vmap.find_opt v col.code_index
+
+(* --- derived tables --- *)
+
 let project t names =
   let schema = Schema.project t.schema names in
   let indices = List.map (Schema.index_of t.schema) names in
   let rows =
     Array.map (fun r -> Array.of_list (List.map (fun i -> r.(i)) indices)) t.rows
   in
-  { schema; rows }
+  create schema rows
 
-let filter p t = { t with rows = Array.of_list (List.filter p (Array.to_list t.rows)) }
+let filter p t =
+  create t.schema (Array.of_list (List.filter p (Array.to_list t.rows)))
 
 let count p t =
   Array.fold_left (fun acc r -> if p r then acc + 1 else acc) 0 t.rows
 
-let select t indices = { t with rows = Array.map (fun i -> t.rows.(i)) indices }
+let select t indices = create t.schema (Array.map (fun i -> t.rows.(i)) indices)
 
 let append a b =
   if not (Schema.equal a.schema b.schema) then
     invalid_arg "Table.append: schema mismatch";
-  { a with rows = Array.append a.rows b.rows }
+  create a.schema (Array.append a.rows b.rows)
 
 let group_by t names =
   let indices = List.map (Schema.index_of t.schema) names in

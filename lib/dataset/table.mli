@@ -17,6 +17,12 @@ val schema : t -> Schema.t
 
 val nrows : t -> int
 
+val id : t -> int
+(** A process-unique generation id. Every table — including every derived
+    table ([filter], [select], [append], [project], [map_rows]) — gets a
+    fresh id, so caches keyed by [(id, key)] are invalidated by
+    construction when the table changes. *)
+
 val row : t -> int -> row
 
 val rows : t -> row array
@@ -55,3 +61,27 @@ val iter : (int -> row -> unit) -> t -> unit
 
 val pp : ?max_rows:int -> Format.formatter -> t -> unit
 (** Fixed-width textual rendering (for examples and reports). *)
+
+(** {1 Columnar view}
+
+    Per-attribute dictionary-encoded columns for the compiled query engine:
+    categorical scans compare int codes, numeric range scans read a flat
+    float array, and per-value predicates need evaluating only once per
+    distinct value instead of once per row. *)
+
+type column = {
+  codes : int array;  (** dictionary code per row (dense, first-appearance) *)
+  dict : Value.t array;  (** code -> value *)
+  code_index : int Map.Make(Value).t;  (** value -> code ({!Value.compare}) *)
+  floats : float array;  (** [Value.to_float] per row; [nan] when absent *)
+}
+
+val columns : t -> column array
+(** The columnar view, one column per schema attribute in schema order.
+    Built lazily on first use and cached on the table; safe to call from
+    several domains (an idempotent race at worst). *)
+
+val code_of : column -> Value.t -> int option
+(** Dictionary lookup under {!Value.compare} equality — exactly the
+    equality [Predicate] atoms use, so a value absent from the dictionary
+    matches no row. *)

@@ -85,11 +85,17 @@ let member_refinement gtable c =
   in
   let members = Array.to_list c.Gtable.members in
   let sigs = List.map (fun i -> (i, signature i)) members in
+  (* One frequency pass instead of a per-member rescan: the old
+     uniqueness check was O(k^2) in the class size. Member order (and so
+     which unique member wins) is unchanged. *)
+  let freq = Hashtbl.create 16 in
+  List.iter
+    (fun (_, s) ->
+      Hashtbl.replace freq s
+        (1 + Option.value ~default:0 (Hashtbl.find_opt freq s)))
+    sigs;
   let unique =
-    List.filter
-      (fun (_, s) ->
-        s <> "" && List.length (List.filter (fun (_, s') -> s' = s) sigs) = 1)
-      sigs
+    List.filter (fun (_, s) -> s <> "" && Hashtbl.find freq s = 1) sigs
   in
   match unique with
   | [] -> None

@@ -1,0 +1,121 @@
+(* Packed bitsets over native ints, 63 bits per word (every bit of the
+   OCaml int, including the one that makes a word print negative — only
+   bitwise ops and logical shifts ever touch a word, so the sign is inert).
+   Row sets of the compiled predicate engine: one bit per table row,
+   And/Or/Not are word-wise land/lor/lnot, counting is a popcount loop. *)
+
+type t = { len : int; words : int array }
+
+let bits_per_word = 63
+
+let nwords len = (len + bits_per_word - 1) / bits_per_word
+
+(* Mask of the tail word's live bits. For a full tail ([r = 0] with
+   [len > 0]) every bit is live: [-1] is all 63 ones. [1 lsl 62] wraps to
+   [min_int], so [(1 lsl r) - 1] is the r-ones mask for every r <= 62. *)
+let tail_mask len =
+  let r = len mod bits_per_word in
+  if r = 0 then -1 else (1 lsl r) - 1
+
+let length t = t.len
+
+let create len =
+  if len < 0 then invalid_arg "Bitset.create: negative length";
+  { len; words = Array.make (nwords len) 0 }
+
+let ones len =
+  if len < 0 then invalid_arg "Bitset.ones: negative length";
+  let w = Array.make (nwords len) (-1) in
+  if Array.length w > 0 then w.(Array.length w - 1) <- tail_mask len;
+  { len; words = w }
+
+(* Word-chunked fill: no per-bit division, one store per word. *)
+let init len f =
+  if len < 0 then invalid_arg "Bitset.init: negative length";
+  let words = Array.make (nwords len) 0 in
+  let i = ref 0 in
+  for w = 0 to Array.length words - 1 do
+    let hi = min bits_per_word (len - !i) in
+    let acc = ref 0 in
+    for b = 0 to hi - 1 do
+      if f (!i + b) then acc := !acc lor (1 lsl b)
+    done;
+    words.(w) <- !acc;
+    i := !i + hi
+  done;
+  { len; words }
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Bitset.get: index out of range";
+  (t.words.(i / bits_per_word) lsr (i mod bits_per_word)) land 1 = 1
+
+let check_len op a b =
+  if a.len <> b.len then
+    invalid_arg (Printf.sprintf "Bitset.%s: length mismatch (%d vs %d)" op a.len b.len)
+
+let band a b =
+  check_len "band" a b;
+  { len = a.len; words = Array.map2 ( land ) a.words b.words }
+
+let bor a b =
+  check_len "bor" a b;
+  { len = a.len; words = Array.map2 ( lor ) a.words b.words }
+
+let bnot a =
+  let words = Array.map lnot a.words in
+  let nw = Array.length words in
+  if nw > 0 then words.(nw - 1) <- words.(nw - 1) land tail_mask a.len;
+  { len = a.len; words }
+
+(* 16-bit popcount table: four loads cover a 63-bit word. Shared with the
+   reconstruction attack's subset popcounts (see Attacks.Reconstruction). *)
+let pop16 =
+  let t = Bytes.create 65536 in
+  Bytes.set t 0 '\000';
+  for m = 1 to 65535 do
+    Bytes.set t m (Char.chr (Char.code (Bytes.get t (m lsr 1)) + (m land 1)))
+  done;
+  t
+
+let popcount16 m = Char.code (Bytes.unsafe_get pop16 (m land 0xffff))
+
+let popcount w =
+  popcount16 w
+  + popcount16 (w lsr 16)
+  + popcount16 (w lsr 32)
+  + popcount16 (w lsr 48)
+
+let count t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
+
+(* Stops scanning as soon as the running count exceeds [cap]; the result is
+   exact when [<= cap] and some value [> cap] otherwise. [isolates] asks
+   [count_capped 1 b = 1] and bails after the second hit. *)
+let count_capped cap t =
+  let acc = ref 0 in
+  (try
+     Array.iter
+       (fun w ->
+         acc := !acc + popcount w;
+         if !acc > cap then raise Exit)
+       t.words
+   with Exit -> ());
+  !acc
+
+let indices t =
+  let out = Array.make (count t) 0 in
+  let k = ref 0 in
+  Array.iteri
+    (fun wi w ->
+      if w <> 0 then begin
+        let base = wi * bits_per_word in
+        for b = 0 to bits_per_word - 1 do
+          if (w lsr b) land 1 = 1 then begin
+            out.(!k) <- base + b;
+            incr k
+          end
+        done
+      end)
+    t.words;
+  out
+
+let equal a b = a.len = b.len && a.words = b.words

@@ -1,0 +1,51 @@
+(** Packed bitsets: the row sets of the compiled query engine.
+
+    One bit per table row, packed 63 to a native int word, so the boolean
+    connectives of a predicate become word-wise [land]/[lor]/[lnot] and a
+    count query becomes a popcount loop — the same columnar-engine shape as
+    Dinur–Nissim-style reconstruction tooling. *)
+
+type t
+
+val length : t -> int
+
+val create : int -> t
+(** All-zeros bitset of the given length. Raises [Invalid_argument] on a
+    negative length (here and in [ones]/[init]). *)
+
+val ones : int -> t
+(** All-ones bitset (tail bits beyond the length stay clear). *)
+
+val init : int -> (int -> bool) -> t
+(** [init n f] sets bit [i] iff [f i], filling word by word. *)
+
+val get : t -> int -> bool
+(** Raises [Invalid_argument] out of range. *)
+
+val band : t -> t -> t
+
+val bor : t -> t -> t
+
+val bnot : t -> t
+(** Complement within the length: tail bits stay clear, so
+    [count (bnot b) = length b - count b]. *)
+
+val count : t -> int
+(** Number of set bits. *)
+
+val count_capped : int -> t -> int
+(** [count_capped cap b] short-circuits once the running count exceeds
+    [cap]: exact when [<= cap], otherwise some value [> cap]. *)
+
+val indices : t -> int array
+(** Positions of the set bits, ascending. *)
+
+val equal : t -> t -> bool
+
+val popcount : int -> int
+(** Set bits of a native int word (all 63 bits), via a shared 16-bit
+    lookup table. *)
+
+val popcount16 : int -> int
+(** Set bits of the low 16 bits only — one table load, for masks already
+    known to fit (e.g. the reconstruction attack's [n <= 16] subsets). *)

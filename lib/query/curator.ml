@@ -92,13 +92,32 @@ let ask_subset t subset =
       answer t noisy
     end
 
-let ask t p =
-  let schema = Table.schema t.table in
+let matching_interpreted t schema p =
   let subset = ref [] in
   Table.iter
     (fun i row -> if Predicate.eval schema p row then subset := i :: !subset)
     t.table;
-  ask_subset t (Array.of_list (List.rev !subset))
+  Array.of_list (List.rev !subset)
+
+let matching_compiled t schema p =
+  Bitset.indices (Predicate.bits (Predicate.compile schema p) t.table)
+
+let ask t p =
+  let schema = Table.schema t.table in
+  let subset =
+    match Predicate.engine () with
+    | Predicate.Interpreted -> matching_interpreted t schema p
+    | Predicate.Compiled -> matching_compiled t schema p
+    | Predicate.Checked ->
+      let a = matching_interpreted t schema p in
+      let b = matching_compiled t schema p in
+      if a <> b then
+        failwith
+          (Printf.sprintf "Curator.ask: engine mismatch on %s"
+             (Predicate.to_string p));
+      a
+  in
+  ask_subset t subset
 
 let answered t = t.answered
 

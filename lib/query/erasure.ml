@@ -16,7 +16,7 @@ let erase t i =
 
 let live_records t = Dataset.Table.nrows t.snapshot - Hashtbl.length t.erased
 
-let count_over t ~include_erased p =
+let count_over_interpreted t ~include_erased p =
   let schema = Dataset.Table.schema t.snapshot in
   let acc = ref 0 in
   Dataset.Table.iter
@@ -27,6 +27,32 @@ let count_over t ~include_erased p =
       then incr acc)
     t.snapshot;
   !acc
+
+(* Bitset count over the snapshot, minus the erased matches: the erased
+   set is small relative to the table, so subtracting per erased index
+   beats masking out a whole complement bitset. *)
+let count_over_compiled t ~include_erased p =
+  let schema = Dataset.Table.schema t.snapshot in
+  let b = Predicate.bits (Predicate.compile schema p) t.snapshot in
+  let total = Bitset.count b in
+  if include_erased then total
+  else
+    Hashtbl.fold
+      (fun i () acc -> if Bitset.get b i then acc - 1 else acc)
+      t.erased total
+
+let count_over t ~include_erased p =
+  match Predicate.engine () with
+  | Predicate.Interpreted -> count_over_interpreted t ~include_erased p
+  | Predicate.Compiled -> count_over_compiled t ~include_erased p
+  | Predicate.Checked ->
+    let a = count_over_interpreted t ~include_erased p in
+    let b = count_over_compiled t ~include_erased p in
+    if a <> b then
+      failwith
+        (Printf.sprintf "Erasure.count_over: engine mismatch (%d vs %d) on %s"
+           a b (Predicate.to_string p));
+    a
 
 let count t p =
   match t.implementation with

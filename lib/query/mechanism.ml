@@ -24,16 +24,31 @@ let exact_counts qs =
     run =
       (fun _rng table ->
         let schema = Dataset.Table.schema table in
-        (* Rows outer, queries inner: hash-atom digests are cached per row,
-           so query batches over the same record pay for one digest. *)
-        let counts = Array.make (Array.length qs) 0. in
-        Array.iter
-          (fun row ->
-            Array.iteri
-              (fun i q ->
-                if Predicate.eval schema q row then counts.(i) <- counts.(i) +. 1.)
-              qs)
-          (Dataset.Table.rows table);
+        let counts =
+          match Predicate.engine () with
+          | Predicate.Interpreted ->
+            (* Rows outer, queries inner: hash-atom digests are cached per
+               row, so query batches over the same record pay for one
+               digest. *)
+            let counts = Array.make (Array.length qs) 0. in
+            Array.iter
+              (fun row ->
+                Array.iteri
+                  (fun i q ->
+                    if Predicate.eval schema q row then
+                      counts.(i) <- counts.(i) +. 1.)
+                  qs)
+              (Dataset.Table.rows table);
+            counts
+          | Predicate.Compiled | Predicate.Checked ->
+            (* Per-query compiled counts (Predicate.count dispatches, so
+               Checked still cross-validates). The per-salt digest column
+               is memoized, so a batch of hash-bit queries over one salt
+               still computes each row's digest once. *)
+            Array.map
+              (fun q -> float_of_int (Predicate.count schema q table))
+              qs
+        in
         Vector counts);
   }
 

@@ -70,21 +70,47 @@ let atom_attr = function
 
 (* Hash atoms over one record share a digest; predicates like the pad
    construction's conjoin 64 bit-atoms with one salt, so recomputing the
-   serialization and hash per atom would dominate. A single-slot cache keyed
-   by the row's physical identity and the salt removes the rework (the
-   common evaluation loops revisit the same row for many atoms/queries).
-   The slot is domain-local so that trials evaluated on different pool
-   workers memoize independently instead of thrashing one shared slot. *)
-let digest_cache : (Table.row * int64 * int64) option ref Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> ref None)
+   serialization and hash per atom would dominate. A small keyed cache
+   (row physical identity, salt) removes the rework; several slots (not
+   one) so multi-salt pad constructions with interleaved salts stop
+   thrashing the cache. Domain-local, so trials evaluated on different
+   pool workers memoize independently. *)
+let digest_slots = 8
+
+type digest_cache = {
+  entries : (Table.row * int64 * int64) option array;
+  mutable next : int;  (* round-robin replacement cursor *)
+}
+
+let digest_cache : digest_cache Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      { entries = Array.make digest_slots None; next = 0 })
+
+(* Hit/miss split of a domain-local cache depends on how trials were
+   scheduled over domains, hence ~timing (excluded from cross-jobs
+   determinism checks). *)
+let c_digest_hits = Obs.Counter.make ~timing:true "query.digest_cache_hits"
+
+let c_digest_misses = Obs.Counter.make ~timing:true "query.digest_cache_misses"
 
 let row_digest row salt =
-  let cache = Domain.DLS.get digest_cache in
-  match !cache with
-  | Some (r, s, d) when r == row && s = salt -> d
-  | _ ->
+  let c = Domain.DLS.get digest_cache in
+  let rec scan i =
+    if i >= digest_slots then None
+    else
+      match c.entries.(i) with
+      | Some (r, s, d) when r == row && s = salt -> Some d
+      | _ -> scan (i + 1)
+  in
+  match scan 0 with
+  | Some d ->
+    Obs.Counter.incr c_digest_hits;
+    d
+  | None ->
+    Obs.Counter.incr c_digest_misses;
     let d = Prob.Hashing.hash64 ~salt (encode_row row) in
-    cache := Some (row, salt, d);
+    c.entries.(c.next) <- Some (row, salt, d);
+    c.next <- (c.next + 1) mod digest_slots;
     d
 
 let eval_atom schema atom row =
@@ -107,15 +133,266 @@ let rec eval schema t row =
   | And (p, q) -> eval schema p row && eval schema q row
   | Or (p, q) -> eval schema p row || eval schema q row
 
+let rec to_string = function
+  | True -> "true"
+  | False -> "false"
+  | Atom (Eq (a, v)) -> Printf.sprintf "%s = %s" a (Value.to_string v)
+  | Atom (Member (a, vs)) ->
+    Printf.sprintf "%s in {%s}" a
+      (String.concat ", " (List.map Value.to_string vs))
+  | Atom (Range (a, lo, hi)) -> Printf.sprintf "%s in [%g, %g)" a lo hi
+  | Atom (Fits (a, g)) -> Printf.sprintf "%s ~ %s" a (Gvalue.to_string g)
+  | Atom (Hash_bucket { buckets; bucket; _ }) ->
+    Printf.sprintf "hash(record) mod %d = %d" buckets bucket
+  | Atom (Hash_bit { index; _ }) -> Printf.sprintf "bit_%d(hash(record))" index
+  | Not p -> Printf.sprintf "not (%s)" (to_string p)
+  | And (p, q) -> Printf.sprintf "(%s && %s)" (to_string p) (to_string q)
+  | Or (p, q) -> Printf.sprintf "(%s || %s)" (to_string p) (to_string q)
+
+(* --- Compiled predicates --- *)
+
+(* Compilation resolves each atom's attribute to its schema index once
+   (instead of a string lookup per atom per row) and keeps the original
+   atom alongside as the bitset cache key. Evaluation against a table is
+   columnar: each atom materializes a Bitset over its column — per-value
+   tests (Eq/Member/Fits) run once per distinct dictionary value, not once
+   per row — and the connectives combine whole words. *)
+
+type catom =
+  | Ceq of int * Value.t
+  | Cmember of int * Value.t list
+  | Crange of int * float * float
+  | Cfits of int * Gvalue.t
+  | Chash_bucket of { buckets : int; bucket : int; salt : int64 }
+  | Chash_bit of { index : int; salt : int64 }
+
+type cexp =
+  | Ktrue
+  | Kfalse
+  | Katom of atom * catom
+  | Knot of cexp
+  | Kand of cexp * cexp
+  | Kor of cexp * cexp
+
+type compiled = { c_prog : cexp; c_source : t }
+
+let source c = c.c_source
+
+let compile schema t =
+  let catom a =
+    match a with
+    | Eq (name, v) -> Ceq (Schema.index_of schema name, v)
+    | Member (name, vs) -> Cmember (Schema.index_of schema name, vs)
+    | Range (name, lo, hi) -> Crange (Schema.index_of schema name, lo, hi)
+    | Fits (name, g) -> Cfits (Schema.index_of schema name, g)
+    | Hash_bucket { buckets; bucket; salt } -> Chash_bucket { buckets; bucket; salt }
+    | Hash_bit { index; salt } -> Chash_bit { index; salt }
+  in
+  let rec go = function
+    | True -> Ktrue
+    | False -> Kfalse
+    | Atom a -> Katom (a, catom a)
+    | Not p -> Knot (go p)
+    | And (p, q) -> Kand (go p, go q)
+    | Or (p, q) -> Kor (go p, go q)
+  in
+  { c_prog = go t; c_source = t }
+
+(* Atom bitsets and per-salt digest columns, memoized per table. The cache
+   is domain-local (no locks on the hot path, like the digest cache above)
+   and bounded: a handful of tables in MRU order — the PSO game touches one
+   fresh table per trial, so stale generations retire immediately — and a
+   cap on distinct atoms per table. Keys include Table.id, which every
+   derived table refreshes, so stale hits are impossible by construction. *)
+type table_cache = {
+  tbl : int;  (* Table.id *)
+  atoms : (atom, Bitset.t) Hashtbl.t;
+  digests : (int64, int64 array) Hashtbl.t;  (* salt -> per-row digest *)
+}
+
+let max_cached_tables = 4
+
+let max_cached_atoms = 512
+
+let bitset_caches : table_cache list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let fresh_table_cache table =
+  { tbl = Table.id table; atoms = Hashtbl.create 32; digests = Hashtbl.create 4 }
+
+let table_cache table =
+  let caches = Domain.DLS.get bitset_caches in
+  let tid = Table.id table in
+  match List.find_opt (fun tc -> tc.tbl = tid) !caches with
+  | Some tc ->
+    if (List.hd !caches).tbl <> tid then
+      caches := tc :: List.filter (fun c -> c != tc) !caches;
+    tc
+  | None ->
+    let tc = fresh_table_cache table in
+    caches := tc :: List.filteri (fun i _ -> i < max_cached_tables - 1) !caches;
+    tc
+
+(* One count per compiled-tree evaluation: a logical event (independent of
+   scheduling), unlike the cache hit/miss split below. *)
+let c_compiled = Obs.Counter.make "query.compiled_evals"
+
+let c_bitset_hits = Obs.Counter.make ~timing:true "query.bitset_cache_hits"
+
+let c_bitset_misses = Obs.Counter.make ~timing:true "query.bitset_cache_misses"
+
+let digest_column table tc salt =
+  match Hashtbl.find_opt tc.digests salt with
+  | Some d -> d
+  | None ->
+    let d =
+      Array.map
+        (fun row -> Prob.Hashing.hash64 ~salt (encode_row row))
+        (Table.rows table)
+    in
+    Hashtbl.add tc.digests salt d;
+    d
+
+let materialize table cols tc ca =
+  let n = Table.nrows table in
+  match ca with
+  | Ceq (j, v) -> (
+    let col = cols.(j) in
+    match Table.code_of col v with
+    | None -> Bitset.create n
+    | Some c ->
+      let codes = col.Table.codes in
+      Bitset.init n (fun i -> Array.unsafe_get codes i = c))
+  | Cmember (j, vs) ->
+    let col = cols.(j) in
+    let marks = Array.make (max 1 (Array.length col.Table.dict)) false in
+    List.iter
+      (fun v ->
+        match Table.code_of col v with
+        | Some c -> marks.(c) <- true
+        | None -> ())
+      vs;
+    let codes = col.Table.codes in
+    Bitset.init n (fun i -> Array.unsafe_get marks (Array.unsafe_get codes i))
+  | Crange (j, lo, hi) ->
+    let fs = cols.(j).Table.floats in
+    Bitset.init n (fun i ->
+        let f = Array.unsafe_get fs i in
+        lo <= f && f < hi)
+  | Cfits (j, g) ->
+    let col = cols.(j) in
+    (* The per-value test runs once per dictionary entry, not per row. *)
+    let marks = Array.map (Gvalue.matches g) col.Table.dict in
+    let codes = col.Table.codes in
+    Bitset.init n (fun i -> Array.unsafe_get marks (Array.unsafe_get codes i))
+  | Chash_bucket { buckets; bucket; salt } ->
+    let d = digest_column table tc salt in
+    let buckets = Int64.of_int buckets in
+    Bitset.init n (fun i ->
+        Int64.to_int
+          (Int64.rem (Int64.shift_right_logical (Array.unsafe_get d i) 1) buckets)
+        = bucket)
+  | Chash_bit { index; salt } ->
+    let d = digest_column table tc salt in
+    Bitset.init n (fun i ->
+        Int64.logand (Int64.shift_right_logical (Array.unsafe_get d i) index) 1L
+        = 1L)
+
+let atom_bits ~cache table cols tc key ca =
+  match Hashtbl.find_opt tc.atoms key with
+  | Some b ->
+    Obs.Counter.incr c_bitset_hits;
+    b
+  | None ->
+    Obs.Counter.incr c_bitset_misses;
+    let b = materialize table cols tc ca in
+    if cache && Hashtbl.length tc.atoms < max_cached_atoms then
+      Hashtbl.add tc.atoms key b;
+    b
+
+let bits ?(cache = true) c table =
+  Obs.Counter.incr c_compiled;
+  let n = Table.nrows table in
+  let cols = Table.columns table in
+  let tc = if cache then table_cache table else fresh_table_cache table in
+  let rec go = function
+    | Ktrue -> Bitset.ones n
+    | Kfalse -> Bitset.create n
+    | Katom (key, ca) -> atom_bits ~cache table cols tc key ca
+    | Knot p -> Bitset.bnot (go p)
+    | Kand (p, q) -> Bitset.band (go p) (go q)
+    | Kor (p, q) -> Bitset.bor (go p) (go q)
+  in
+  go c.c_prog
+
+let count_compiled ?cache c table = Bitset.count (bits ?cache c table)
+
+let isolates_compiled ?cache c table =
+  Bitset.count_capped 1 (bits ?cache c table) = 1
+
+(* --- Engine selection --- *)
+
+type engine = Interpreted | Compiled | Checked
+
+let engine_of_string s =
+  match String.lowercase_ascii s with
+  | "interp" | "interpreted" -> Some Interpreted
+  | "bitset" | "compiled" -> Some Compiled
+  | "check" | "checked" -> Some Checked
+  | _ -> None
+
+let engine_name = function
+  | Interpreted -> "interp"
+  | Compiled -> "bitset"
+  | Checked -> "check"
+
+(* Unrecognized env values fall back to the default rather than raising at
+   library init; the CLIs validate their --engine flag properly. *)
+let engine_mode =
+  Atomic.make
+    (match Option.bind (Sys.getenv_opt "PSO_QUERY_ENGINE") engine_of_string with
+    | Some e -> e
+    | None -> Compiled)
+
+let engine () = Atomic.get engine_mode
+
+let set_engine e = Atomic.set engine_mode e
+
 (* One row-evaluation per row scanned: the logical cost of every counting
-   query, deterministic for a deterministic workload at any --jobs. *)
+   query, deterministic for a deterministic workload at any --jobs and
+   charged identically by every engine. *)
 let c_evals = Obs.Counter.make "query.predicate_evals"
+
+let count_interpreted schema t table =
+  Table.count (fun row -> eval schema t row) table
+
+let mismatch what t interp compiled =
+  failwith
+    (Printf.sprintf
+       "Predicate.%s: engine mismatch (interpreter %s, compiled %s) on %s" what
+       interp compiled (to_string t))
 
 let count schema t table =
   Obs.Counter.add c_evals (Table.nrows table);
-  Table.count (fun row -> eval schema t row) table
+  match engine () with
+  | Interpreted -> count_interpreted schema t table
+  | Compiled -> count_compiled (compile schema t) table
+  | Checked ->
+    let a = count_interpreted schema t table in
+    let b = count_compiled (compile schema t) table in
+    if a <> b then mismatch "count" t (string_of_int a) (string_of_int b);
+    a
 
-let isolates schema t table = count schema t table = 1
+let isolates schema t table =
+  Obs.Counter.add c_evals (Table.nrows table);
+  match engine () with
+  | Interpreted -> count_interpreted schema t table = 1
+  | Compiled -> isolates_compiled (compile schema t) table
+  | Checked ->
+    let a = count_interpreted schema t table = 1 in
+    let b = isolates_compiled (compile schema t) table in
+    if a <> b then mismatch "isolates" t (string_of_bool a) (string_of_bool b);
+    a
 
 (* --- Weight --- *)
 
@@ -149,20 +426,22 @@ let conjunct_of_atom ~negated atom =
     | None -> assert false)
 
 (* Flatten a pure conjunction; [None] if the formula is not a conjunction of
-   (possibly negated) atoms. *)
-let rec conjuncts t =
-  match t with
-  | True -> Some [ Cconst true ]
-  | False -> Some [ Cconst false ]
-  | Atom a -> Some [ conjunct_of_atom ~negated:false a ]
-  | Not (Atom a) -> Some [ conjunct_of_atom ~negated:true a ]
-  | Not True -> Some [ Cconst false ]
-  | Not False -> Some [ Cconst true ]
-  | And (p, q) -> (
-    match (conjuncts p, conjuncts q) with
-    | Some cp, Some cq -> Some (cp @ cq)
-    | _, _ -> None)
-  | Not _ | Or _ -> None
+   (possibly negated) atoms. The accumulator keeps flattening linear — the
+   naive [cp @ cq] recursion is quadratic on the long left-leaning chains
+   [conj] builds (pad constructions conjoin 64 atoms). *)
+let conjuncts t =
+  let rec go t acc =
+    match t with
+    | True -> Some (Cconst true :: acc)
+    | False -> Some (Cconst false :: acc)
+    | Atom a -> Some (conjunct_of_atom ~negated:false a :: acc)
+    | Not (Atom a) -> Some (conjunct_of_atom ~negated:true a :: acc)
+    | Not True -> Some (Cconst false :: acc)
+    | Not False -> Some (Cconst true :: acc)
+    | And (p, q) -> Option.bind (go q acc) (fun acc -> go p acc)
+    | Not _ | Or _ -> None
+  in
+  go t []
 
 let analytic_weight model cs =
   if List.exists (function Cconst false -> true | _ -> false) cs then
@@ -172,8 +451,10 @@ let analytic_weight model cs =
        probability of satisfying all of its tests (exact under the product
        model). *)
     let by_attr : (string, (Value.t -> bool) list) Hashtbl.t = Hashtbl.create 8 in
+    let schema = Model.schema model in
     let hash_factor = ref 1. in
     let salted = ref false in
+    let ok = ref true in
     List.iter
       (function
         | Cconst _ -> ()
@@ -181,19 +462,30 @@ let analytic_weight model cs =
           salted := true;
           hash_factor := !hash_factor *. p
         | Cattr (a, test) ->
-          let prev = Option.value ~default:[] (Hashtbl.find_opt by_attr a) in
-          Hashtbl.replace by_attr a (test :: prev))
+          if not (Schema.mem schema a) then ok := false
+          else begin
+            let prev = Option.value ~default:[] (Hashtbl.find_opt by_attr a) in
+            Hashtbl.replace by_attr a (test :: prev)
+          end)
       cs;
-    let w = ref !hash_factor in
-    let ok = ref true in
-    Hashtbl.iter
-      (fun a tests ->
-        match Model.cell_prob model a (fun v -> List.for_all (fun t -> t v) tests) with
-        | p -> w := !w *. p
-        | exception Not_found -> ok := false)
-      by_attr;
     if not !ok then None
     else begin
+      (* Fold the per-attribute factors in schema attribute order: float
+         products are not associative and Hashtbl.iter order is
+         implementation-defined, so iterating the table directly would
+         leave the low bits of the weight at the mercy of the hash
+         function. Schema order pins the product bit-for-bit. *)
+      let w = ref !hash_factor in
+      Array.iter
+        (fun (a : Schema.attribute) ->
+          match Hashtbl.find_opt by_attr a.Schema.name with
+          | None -> ()
+          | Some tests ->
+            w :=
+              !w
+              *. Model.cell_prob model a.Schema.name (fun v ->
+                     List.for_all (fun t -> t v) tests))
+        (Schema.attributes schema);
       (* cell_prob sums marginal masses, so rounding can push a certain
          event a few ulps past 1; weights are probabilities, clamp. *)
       let w = Float.max 0. (Float.min 1. !w) in
@@ -217,19 +509,3 @@ let weight ?rng ?(trials = default_trials) model t =
       if eval schema t (Model.sample_row rng model) then incr hits
     done;
     Estimated { value = float_of_int !hits /. float_of_int trials; trials }
-
-let rec to_string = function
-  | True -> "true"
-  | False -> "false"
-  | Atom (Eq (a, v)) -> Printf.sprintf "%s = %s" a (Value.to_string v)
-  | Atom (Member (a, vs)) ->
-    Printf.sprintf "%s in {%s}" a
-      (String.concat ", " (List.map Value.to_string vs))
-  | Atom (Range (a, lo, hi)) -> Printf.sprintf "%s in [%g, %g)" a lo hi
-  | Atom (Fits (a, g)) -> Printf.sprintf "%s ~ %s" a (Gvalue.to_string g)
-  | Atom (Hash_bucket { buckets; bucket; _ }) ->
-    Printf.sprintf "hash(record) mod %d = %d" buckets bucket
-  | Atom (Hash_bit { index; _ }) -> Printf.sprintf "bit_%d(hash(record))" index
-  | Not p -> Printf.sprintf "not (%s)" (to_string p)
-  | And (p, q) -> Printf.sprintf "(%s && %s)" (to_string p) (to_string q)
-  | Or (p, q) -> Printf.sprintf "(%s || %s)" (to_string p) (to_string q)

@@ -49,11 +49,69 @@ val eval : Dataset.Schema.t -> t -> Dataset.Table.row -> bool
     schema. *)
 
 val count : Dataset.Schema.t -> t -> Dataset.Table.t -> int
-(** [Σᵢ p(xᵢ)] — the count-query answer for this predicate. *)
+(** [Σᵢ p(xᵢ)] — the count-query answer for this predicate. Dispatches on
+    the current {!engine}: the default compiled path evaluates against the
+    table's columnar view via cached bitsets; the interpreter is the
+    executable reference. Both produce identical results on every input —
+    [Checked] asserts exactly that. *)
 
 val isolates : Dataset.Schema.t -> t -> Dataset.Table.t -> bool
 (** Definition 2.1: [p] isolates in [x] iff it holds for exactly one
-    record. *)
+    record. Engine-dispatched like {!count}; the compiled path
+    short-circuits the popcount past 1. *)
+
+(** {1 Compiled engine}
+
+    [compile] resolves each atom's attribute name to its schema index once
+    and pairs it with a specialized columnar evaluation: per-value tests
+    (Eq/Member/Fits) run once per distinct dictionary value, Range scans a
+    flat float array, hash atoms read a memoized per-salt digest column.
+    Each atom materializes a {!Bitset.t} over the table's rows;
+    [And]/[Or]/[Not] combine whole words; a count is a popcount loop.
+
+    Atom bitsets and digest columns are memoized in a bounded domain-local
+    cache keyed by [(Table.id, atom)] — derived tables get fresh ids, so
+    stale hits are impossible by construction. *)
+
+type compiled
+
+val compile : Dataset.Schema.t -> t -> compiled
+(** Raises [Not_found] if an atom names an attribute absent from the
+    schema — eagerly, unlike the interpreter, which only faults when row
+    evaluation actually reaches the atom. *)
+
+val source : compiled -> t
+(** The predicate this was compiled from. *)
+
+val bits : ?cache:bool -> compiled -> Dataset.Table.t -> Bitset.t
+(** The rows satisfying the predicate, as a bitset of length
+    [Table.nrows]. [cache] (default [true]) controls the domain-local atom
+    bitset cache; with [~cache:false] every atom rematerializes. *)
+
+val count_compiled : ?cache:bool -> compiled -> Dataset.Table.t -> int
+
+val isolates_compiled : ?cache:bool -> compiled -> Dataset.Table.t -> bool
+
+val count_interpreted : Dataset.Schema.t -> t -> Dataset.Table.t -> int
+(** The reference row-by-row interpreter, regardless of engine mode. *)
+
+(** {2 Engine selection} *)
+
+type engine =
+  | Interpreted  (** row-by-row reference interpreter *)
+  | Compiled  (** columnar bitset engine (default) *)
+  | Checked  (** run both, assert agreement — for tests and CI smoke *)
+
+val engine : unit -> engine
+
+val set_engine : engine -> unit
+(** Process-wide. The initial mode honours the [PSO_QUERY_ENGINE]
+    environment variable ([interp] / [bitset] / [check]; unrecognized
+    values are ignored) and defaults to [Compiled]. *)
+
+val engine_of_string : string -> engine option
+
+val engine_name : engine -> string
 
 (** {1 Weight} *)
 

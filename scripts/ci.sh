@@ -13,6 +13,12 @@
 #      both JSON outputs must parse, and the table on stdout must still
 #      match the committed golden byte-for-byte (telemetry must not perturb
 #      results)
+#   6. query-engine smoke: E2 with --engine check (interpreter and compiled
+#      bitset engine cross-validated on every query, failing on any
+#      divergence) must still match the committed golden byte-for-byte
+#   7. bench kernel JSON: the predicate kernel triple's --json output must
+#      validate under pso_audit validate-json (the bench-kernels/v1
+#      contract)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -62,4 +68,20 @@ if ! diff -u test/golden/E2.txt "$tmp1"; then
   exit 1
 fi
 
-echo "ci: ok (build + tests + jobs-determinism + golden tables + negative auditor + obs smoke)"
+# Query-engine smoke: force check mode (interpreter + compiled bitset
+# engine run side by side; any count/isolation divergence aborts) and
+# require the E2 table to stay byte-identical to the committed golden.
+dune exec bin/pso_audit.exe -- run E2 --quick --seed 20210621 --jobs 2 \
+  --engine check > "$tmp1" 2> /dev/null
+if ! diff -u test/golden/E2.txt "$tmp1"; then
+  echo "ci: --engine check perturbed the E2 table (differs from test/golden/E2.txt)" >&2
+  exit 1
+fi
+
+# Bench kernel JSON: the interpreter/compiled/bitset predicate triple must
+# run (each sample cross-checks counts against the interpreter) and emit
+# bench-kernels/v1 JSON that validates.
+dune exec bench/main.exe -- --no-tables --only predicates --json "$tmp2" > /dev/null
+dune exec bin/pso_audit.exe -- validate-json "$tmp2"
+
+echo "ci: ok (build + tests + jobs-determinism + golden tables + negative auditor + obs smoke + engine check + bench kernels)"

@@ -151,6 +151,49 @@ let test_table_select_append () =
   Alcotest.(check int) "selected" 2 (T.nrows s);
   Alcotest.(check int) "append" 5 (T.nrows (T.append t s))
 
+let test_table_columns_roundtrip () =
+  let t = demo_table () in
+  let cols = T.columns t in
+  Alcotest.(check int) "one column per attribute" 3 (Array.length cols);
+  (* Decoding codes through the dictionary reproduces every cell. *)
+  Array.iteri
+    (fun j col ->
+      Array.iteri
+        (fun i code ->
+          Alcotest.(check bool)
+            (Printf.sprintf "cell (%d,%d)" i j)
+            true
+            (V.equal col.T.dict.(code) (T.row t i).(j)))
+        col.T.codes)
+    cols;
+  let zip = cols.(1) in
+  Alcotest.(check int) "zip dictionary size" 2 (Array.length zip.T.dict);
+  Alcotest.(check (array int)) "zip codes (first-appearance)" [| 0; 0; 1 |] zip.T.codes;
+  Alcotest.(check (option int)) "code_of known" (Some 1)
+    (T.code_of zip (V.String "54321"));
+  Alcotest.(check (option int)) "code_of unknown" None (T.code_of zip (V.String "?"));
+  let id = cols.(0) in
+  Alcotest.(check (array (float 1e-9))) "numeric view" [| 0.; 1.; 2. |] id.T.floats;
+  Alcotest.(check bool) "non-numeric view is nan" true
+    (Array.for_all Float.is_nan zip.T.floats);
+  Alcotest.(check bool) "cached" true (T.columns t == cols)
+
+let test_table_ids_fresh () =
+  let t = demo_table () in
+  let derived =
+    [
+      T.filter (fun _ -> true) t;
+      T.select t [| 0; 1; 2 |];
+      T.project t [ "dx" ];
+      T.append t t;
+      T.map_rows Fun.id t;
+    ]
+  in
+  let ids = T.id t :: List.map T.id derived in
+  let distinct = List.sort_uniq compare ids in
+  Alcotest.(check int) "every table gets a fresh id" (List.length ids)
+    (List.length distinct)
+
 (* --- Gvalue --- *)
 
 let test_gvalue_matches () =
@@ -499,6 +542,8 @@ let () =
           Alcotest.test_case "group_by" `Quick test_table_group_by;
           Alcotest.test_case "distinct" `Quick test_table_distinct;
           Alcotest.test_case "select/append" `Quick test_table_select_append;
+          Alcotest.test_case "columnar view" `Quick test_table_columns_roundtrip;
+          Alcotest.test_case "fresh ids" `Quick test_table_ids_fresh;
         ] );
       ( "gvalue",
         [

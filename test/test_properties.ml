@@ -86,6 +86,20 @@ let prop_weight_conjunction_bounded =
         P.weight_value wpq
         <= Float.min (P.weight_value wp) (P.weight_value wq) +. 0.08)
 
+let prop_engines_agree =
+  qcheck ~count:200 "compiled/bitset engine agrees with the interpreter"
+    Gen.model_table_predicate
+    (fun (m, t, p) ->
+      let sch = Dataset.Model.schema m in
+      let interp = P.count_interpreted sch p t in
+      let c = P.compile sch p in
+      let b = P.bits c t in
+      P.count_compiled c t = interp
+      && P.count_compiled ~cache:false c t = interp
+      && Query.Bitset.count b = interp
+      && Array.length (Query.Bitset.indices b) = interp
+      && P.isolates_compiled c t = (interp = 1))
+
 let prop_exact_count_mechanism =
   qcheck "exact_count mechanism returns the true count" Gen.model_table_predicate
     (fun (m, t, p) ->
@@ -195,6 +209,7 @@ let () =
       ( "query",
         [
           prop_count_matches_eval;
+          prop_engines_agree;
           prop_weight_in_unit_interval;
           prop_weight_conjunction_bounded;
           prop_exact_count_mechanism;

@@ -565,6 +565,157 @@ let test_erasure_idempotent_and_validated () =
        false
      with Invalid_argument _ -> true)
 
+(* --- bitset --- *)
+
+module B = Query.Bitset
+
+let test_bitset_word_boundaries () =
+  (* 63 bits per word: straddle every boundary shape. *)
+  List.iter
+    (fun n ->
+      let even = B.init n (fun i -> i mod 2 = 0) in
+      Alcotest.(check int) (Printf.sprintf "ones count n=%d" n) n (B.count (B.ones n));
+      Alcotest.(check int) (Printf.sprintf "zeros count n=%d" n) 0 (B.count (B.create n));
+      Alcotest.(check int) (Printf.sprintf "even count n=%d" n) ((n + 1) / 2) (B.count even);
+      Alcotest.(check bool) (Printf.sprintf "bnot zeros = ones n=%d" n) true
+        (B.equal (B.bnot (B.create n)) (B.ones n));
+      Alcotest.(check int) (Printf.sprintf "bnot complement n=%d" n)
+        (n - B.count even) (B.count (B.bnot even));
+      Alcotest.(check bool) (Printf.sprintf "get round-trip n=%d" n) true
+        (List.for_all (fun i -> B.get even i = (i mod 2 = 0)) (List.init n Fun.id));
+      Alcotest.(check bool) (Printf.sprintf "indices n=%d" n) true
+        (Array.to_list (B.indices even)
+        = List.filter (fun i -> i mod 2 = 0) (List.init n Fun.id)))
+    [ 0; 1; 62; 63; 64; 65; 126; 127 ]
+
+let test_bitset_algebra () =
+  let n = 100 in
+  let a = B.init n (fun i -> i mod 3 = 0) in
+  let b = B.init n (fun i -> i mod 5 = 0) in
+  Alcotest.(check bool) "de morgan" true
+    (B.equal (B.bnot (B.band a b)) (B.bor (B.bnot a) (B.bnot b)));
+  (* multiples of 15 below 100 *)
+  Alcotest.(check int) "and count" 7 (B.count (B.band a b));
+  Alcotest.(check int) "capped below cap is exact" 7 (B.count_capped 10 (B.band a b));
+  Alcotest.(check bool) "capped cuts past cap" true (B.count_capped 1 a > 1)
+
+let test_bitset_validation () =
+  Alcotest.(check bool) "negative length" true
+    (try ignore (B.create (-1)); false with Invalid_argument _ -> true);
+  Alcotest.(check bool) "length mismatch" true
+    (try ignore (B.band (B.create 63) (B.create 64)); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "get out of range" true
+    (try ignore (B.get (B.create 5) 5); false with Invalid_argument _ -> true);
+  Alcotest.(check int) "popcount16 all ones" 16 (B.popcount16 0xffff);
+  Alcotest.(check int) "popcount max_int" 62 (B.popcount max_int);
+  Alcotest.(check int) "popcount -1 (full 63-bit word)" 63 (B.popcount (-1))
+
+(* --- engines --- *)
+
+let with_engine e f =
+  let prev = P.engine () in
+  P.set_engine e;
+  Fun.protect ~finally:(fun () -> P.set_engine prev) f
+
+let engine_preds =
+  [
+    P.Atom (P.Eq ("a0", V.Int 1));
+    P.Atom (P.Eq ("a0", V.Int 9));  (* absent from the dictionary *)
+    P.Atom (P.Member ("a1", [ V.Int 0; V.Int 2; V.Int 9 ]));
+    P.Atom (P.Range ("a2", 0., 3.));
+    P.Atom (P.Fits ("a1", Dataset.Gvalue.Int_range (0, 2)));
+    P.Atom (P.Hash_bucket { buckets = 3; bucket = 1; salt = 99L });
+    P.Atom (P.Hash_bit { index = 7; salt = 42L });
+    P.And (P.Atom (P.Eq ("a0", V.Int 1)), P.Not (P.Atom (P.Eq ("a1", V.Int 1))));
+    P.Or (P.False, P.Not P.True);
+    P.True;
+    P.False;
+  ]
+
+let test_engines_agree_on_fixtures () =
+  let t = table [ row 1 0 0; row 1 1 0; row 2 2 2; row 3 1 7 ] in
+  List.iter
+    (fun p ->
+      let interp = P.count_interpreted schema p t in
+      let c = P.compile schema p in
+      Alcotest.(check int) (P.to_string p) interp (P.count_compiled c t);
+      Alcotest.(check int) (P.to_string p ^ " uncached") interp
+        (P.count_compiled ~cache:false c t);
+      Alcotest.(check int) (P.to_string p ^ " bits") interp
+        (Array.length (B.indices (P.bits c t)));
+      Alcotest.(check bool) (P.to_string p ^ " isolates") (interp = 1)
+        (P.isolates_compiled c t);
+      List.iter
+        (fun e ->
+          with_engine e (fun () ->
+              Alcotest.(check int) (P.to_string p ^ " dispatched") interp
+                (P.count schema p t)))
+        [ P.Interpreted; P.Compiled; P.Checked ])
+    engine_preds
+
+let test_engines_agree_on_nulls () =
+  (* Null is a dictionary value like any other: Eq/Member match it under
+     Value.equal on both paths; Range sees no numeric view and rejects. *)
+  let t = Dataset.Table.make schema [| [| V.Null; V.Int 1; V.Int 2 |]; row 1 1 1 |] in
+  List.iter
+    (fun p ->
+      let interp = P.count_interpreted schema p t in
+      Alcotest.(check int) (P.to_string p) interp
+        (P.count_compiled (P.compile schema p) t))
+    [
+      P.Atom (P.Eq ("a0", V.Null));
+      P.Atom (P.Range ("a0", 0., 10.));
+      P.Atom (P.Member ("a0", [ V.Null; V.Int 1 ]));
+    ]
+
+let test_compile_unknown_attr_raises () =
+  Alcotest.(check bool) "compile raises eagerly" true
+    (try
+       ignore (P.compile schema (P.Or (P.True, P.Atom (P.Eq ("nope", V.Int 1)))));
+       false
+     with Not_found -> true)
+
+let test_engine_cache_invalidation () =
+  (* Derived tables get fresh generation ids, so a bitset cached for the
+     parent can never be served for the child. *)
+  let t = table [ row 1 0 0; row 1 1 0; row 2 2 2 ] in
+  let p = P.Atom (P.Eq ("a0", V.Int 1)) in
+  let c = P.compile schema p in
+  Alcotest.(check int) "parent" 2 (P.count_compiled c t);
+  let t' = Dataset.Table.filter (fun r -> r.(0) = V.Int 1) t in
+  Alcotest.(check bool) "fresh id" true (Dataset.Table.id t' <> Dataset.Table.id t);
+  Alcotest.(check int) "derived (all match)" 2 (P.count_compiled c t');
+  let t'' = Dataset.Table.select t [| 2 |] in
+  Alcotest.(check int) "selected (none match)" 0 (P.count_compiled c t'');
+  Alcotest.(check int) "parent again after interleaving" 2 (P.count_compiled c t)
+
+let test_engine_of_string () =
+  List.iter
+    (fun (s, e) -> Alcotest.(check bool) s true (P.engine_of_string s = e))
+    [
+      ("interp", Some P.Interpreted);
+      ("bitset", Some P.Compiled);
+      ("check", Some P.Checked);
+      ("compiled", Some P.Compiled);
+      ("INTERP", Some P.Interpreted);
+      ("garbage", None);
+    ];
+  List.iter
+    (fun e ->
+      Alcotest.(check bool) (P.engine_name e) true
+        (P.engine_of_string (P.engine_name e) = Some e))
+    [ P.Interpreted; P.Compiled; P.Checked ]
+
+let test_checked_engine_full_stack () =
+  (* Re-run representative mechanism/curator/erasure fixtures with the
+     cross-validating engine: any interpreter/compiled divergence fails. *)
+  with_engine P.Checked (fun () ->
+      test_mechanism_exact_counts ();
+      test_curator_exact ();
+      test_erasure_recompute_forgets ();
+      test_erasure_cached_retains ())
+
 (* --- QCheck properties --- *)
 
 let qcheck =
@@ -729,6 +880,22 @@ let () =
           Alcotest.test_case "query limit" `Quick test_oracle_limit;
           Alcotest.test_case "out of range" `Quick test_oracle_out_of_range;
           Alcotest.test_case "true_answer free" `Quick test_oracle_true_answer_free;
+        ] );
+      ( "bitset",
+        [
+          Alcotest.test_case "word boundaries" `Quick test_bitset_word_boundaries;
+          Alcotest.test_case "algebra" `Quick test_bitset_algebra;
+          Alcotest.test_case "validation" `Quick test_bitset_validation;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "fixtures agree" `Quick test_engines_agree_on_fixtures;
+          Alcotest.test_case "nulls agree" `Quick test_engines_agree_on_nulls;
+          Alcotest.test_case "compile raises eagerly" `Quick
+            test_compile_unknown_attr_raises;
+          Alcotest.test_case "cache invalidation" `Quick test_engine_cache_invalidation;
+          Alcotest.test_case "engine_of_string" `Quick test_engine_of_string;
+          Alcotest.test_case "checked full stack" `Quick test_checked_engine_full_stack;
         ] );
       ("properties", qcheck);
     ]
