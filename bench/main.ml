@@ -168,6 +168,44 @@ let predicate_bench =
      in
      (schema, table, p))
 
+(* The batch fixture: 1000 random conjunctions (some negated, some
+   duplicated) over a shared pool of 64 atoms on the same 10k-row table —
+   the shape of a reconstruction or composition workload. The pool is much
+   smaller than the batch, so batch-wide atom dedup has real work to do. *)
+let predicate_batch_size = 1_000
+
+let predicate_batch =
+  lazy
+    (let schema, table, _ = Lazy.force predicate_bench in
+     let rng = Prob.Rng.create ~seed:78L () in
+     let open Query.Predicate in
+     let atom_pool =
+       Array.init 64 (fun i ->
+           match i mod 4 with
+           | 0 -> Atom (Eq (Printf.sprintf "a%d" (i mod 6), Dataset.Value.Int (i mod 12)))
+           | 1 ->
+             Atom
+               (Member
+                  ( Printf.sprintf "a%d" (i mod 6),
+                    [ Dataset.Value.Int (i mod 12); Dataset.Value.Int ((i + 5) mod 12) ] ))
+           | 2 ->
+             let lo = float_of_int (i mod 8) in
+             Atom (Range (Printf.sprintf "a%d" (i mod 6), lo, lo +. 4.))
+           | _ -> Not (Atom (Eq (Printf.sprintf "a%d" (i mod 6), Dataset.Value.Int (i mod 12)))))
+     in
+     let pick () = atom_pool.(Prob.Rng.int rng (Array.length atom_pool)) in
+     let one () =
+       match Prob.Rng.int rng 3 with
+       | 0 -> pick ()
+       | 1 -> And (pick (), pick ())
+       | _ -> And (pick (), Or (pick (), pick ()))
+     in
+     let qs = Array.init predicate_batch_size (fun _ -> one ()) in
+     (* Duplicate a slice wholesale: batches repeat whole predicates too. *)
+     Array.blit qs 0 qs (predicate_batch_size - 50) 50;
+     let cs = Array.map (compile schema) qs in
+     (table, cs))
+
 let predicate_kernel_tests () =
   let schema, table, p = Lazy.force predicate_bench in
   let compiled = Query.Predicate.compile schema p in
@@ -175,6 +213,17 @@ let predicate_kernel_tests () =
   let check got =
     if got <> expected then failwith "predicate kernel: engines disagree"
   in
+  let btable, bcs = Lazy.force predicate_batch in
+  let bexpected =
+    Array.map (fun c -> Query.Predicate.count_compiled c btable) bcs
+  in
+  let bcheck got =
+    if got <> bexpected then failwith "predicate batch kernel: engines disagree"
+  in
+  (* The bulk-vs-loop noise pair shares one scale and one rng; the loop
+     side is the old per-draw path (sampler + per-draw telemetry). *)
+  let noise_rng = Prob.Rng.create ~seed:79L () in
+  let noise_scale = 100. in
   [
     Test.make ~name:"predicate-count-interp"
       (Staged.stage (fun () ->
@@ -185,6 +234,22 @@ let predicate_kernel_tests () =
     Test.make ~name:"predicate-count-bitset"
       (Staged.stage (fun () ->
            check (Query.Predicate.count_compiled compiled table)));
+    Test.make ~name:"predicate-count-batch-loop"
+      (Staged.stage (fun () ->
+           bcheck (Array.map (fun c -> Query.Predicate.count_compiled c btable) bcs)));
+    Test.make ~name:"predicate-count-batched"
+      (Staged.stage (fun () -> bcheck (Query.Predicate.count_many btable bcs)));
+    Test.make ~name:"mechanism-noise-loop"
+      (Staged.stage (fun () ->
+           for _ = 1 to predicate_batch_size do
+             ignore
+               (Dp.Telemetry.noise (Prob.Sampler.laplace noise_rng ~scale:noise_scale))
+           done));
+    Test.make ~name:"mechanism-noise-bulk"
+      (Staged.stage (fun () ->
+           ignore
+             (Dp.Bulk.laplace_many noise_rng ~scale:noise_scale
+                predicate_batch_size)));
   ]
 
 let predicates_only only =

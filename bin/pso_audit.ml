@@ -636,6 +636,128 @@ let validate_json_cmd =
           their schema; exits 2 on malformed input.")
     Term.(const run $ files_arg)
 
+(* --- bench-compare --- *)
+
+(* Reads a bench-kernels/v1 snapshot (bench/main.exe --json) into
+   [(kernel name, ns per run)] rows. Any shape violation is a hard error:
+   the CI gate must not silently pass on a malformed snapshot. *)
+let read_bench_snapshot path =
+  let fail fmt =
+    Format.kasprintf
+      (fun msg ->
+        Format.eprintf "pso_audit: %s: %s@." path msg;
+        exit 2)
+      fmt
+  in
+  let contents =
+    try
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with Sys_error msg -> fail "cannot read: %s" msg
+  in
+  let doc =
+    match Core.Json.of_string contents with
+    | Ok doc -> doc
+    | Error msg -> fail "invalid JSON: %s" msg
+  in
+  (match Core.Json.member "schema" doc with
+  | Some (Core.Json.String "bench-kernels/v1") -> ()
+  | Some (Core.Json.String other) ->
+    fail "expected schema bench-kernels/v1, found %s" other
+  | _ -> fail "missing schema field");
+  let kernels =
+    match Option.bind (Core.Json.member "kernels" doc) Core.Json.to_list with
+    | Some ks -> ks
+    | None -> fail "missing kernels list"
+  in
+  List.map
+    (fun k ->
+      match
+        ( Option.bind (Core.Json.member "name" k) Core.Json.to_string_opt,
+          Option.bind (Core.Json.member "ns_per_run" k) Core.Json.to_float )
+      with
+      | Some name, Some ns -> (name, ns)
+      | _ -> fail "malformed kernel entry")
+    kernels
+
+let bench_compare_cmd =
+  let run base current tolerance =
+    if tolerance < 0. then begin
+      Format.eprintf "pso_audit: --tolerance must be >= 0 (got %g)@." tolerance;
+      exit 2
+    end;
+    let base_rows = read_bench_snapshot base in
+    let current_rows = read_bench_snapshot current in
+    let shared =
+      List.filter_map
+        (fun (name, b_ns) ->
+          Option.map
+            (fun c_ns -> (name, b_ns, c_ns))
+            (List.assoc_opt name current_rows))
+        base_rows
+    in
+    if shared = [] then begin
+      Format.eprintf "pso_audit: no kernels shared between %s and %s@." base
+        current;
+      exit 2
+    end;
+    Format.printf "bench-compare: %s -> %s (tolerance %+g%%)@." base current
+      tolerance;
+    let regressions =
+      List.filter
+        (fun (name, b_ns, c_ns) ->
+          let delta = 100. *. ((c_ns /. b_ns) -. 1.) in
+          let slower = delta > tolerance in
+          Format.printf "  %-42s %10.2f us -> %10.2f us  %+7.1f%%%s@." name
+            (b_ns /. 1e3) (c_ns /. 1e3) delta
+            (if slower then "  REGRESSION" else "");
+          slower)
+        shared
+    in
+    let only side rows others =
+      List.iter
+        (fun (name, _) ->
+          if not (List.mem_assoc name others) then
+            Format.printf "  %-42s (only in %s)@." name side)
+        rows
+    in
+    only "base" base_rows current_rows;
+    only "current" current_rows base_rows;
+    if regressions <> [] then begin
+      Format.printf "%d kernel(s) regressed beyond %g%%@."
+        (List.length regressions) tolerance;
+      exit 1
+    end
+    else Format.printf "no kernel regressed beyond %g%%@." tolerance
+  in
+  let base_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"BASE" ~doc:"Baseline bench-kernels/v1 snapshot.")
+  in
+  let current_arg =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"CURRENT" ~doc:"Current bench-kernels/v1 snapshot.")
+  in
+  let tolerance_arg =
+    Arg.(
+      value & opt float 20.
+      & info [ "tolerance" ] ~docv:"PCT"
+          ~doc:"Allowed slowdown per kernel in percent before failing.")
+  in
+  Cmd.v
+    (Cmd.info "bench-compare"
+       ~doc:
+         "Compare two bench-kernels/v1 snapshots; exits 1 when any kernel \
+          present in both slowed down by more than the tolerance, 2 on \
+          malformed input.")
+    Term.(const run $ base_arg $ current_arg $ tolerance_arg)
+
 let () =
   let doc = "singling-out: PSO games, attacks and legal theorems (PODS 2021)" in
   exit
@@ -644,4 +766,5 @@ let () =
           [
             synth_cmd; anonymize_cmd; game_cmd; audit_cmd; theorems_cmd; report_cmd;
             dpcheck_cmd; experiment_cmd; run_cmd; validate_json_cmd;
+            bench_compare_cmd;
           ]))

@@ -101,7 +101,7 @@ let least_squares rng oracle ~queries ~truth =
   Obs.with_span "attacks.least_squares" @@ fun () ->
   let n = Query.Oracle.n oracle in
   let qs = random_queries rng ~queries n in
-  let answers = Array.map (fun q -> Query.Oracle.ask oracle q) qs in
+  let answers = Query.Oracle.ask_many oracle qs in
   let a = Linalg.Matrix.of_subset_queries ~query:qs ~n in
   let z =
     Linalg.Lsq.solve_box
@@ -115,7 +115,7 @@ let lp_decode rng oracle ~queries ~truth =
   Obs.with_span "attacks.lp_decode" @@ fun () ->
   let n = Query.Oracle.n oracle in
   let qs = random_queries rng ~queries n in
-  let answers = Array.map (fun q -> Query.Oracle.ask oracle q) qs in
+  let answers = Query.Oracle.ask_many oracle qs in
   let t = Array.length qs in
   (* Variables: z_0..z_{n-1}, then per query a positive and a negative
      residual p_q, m_q >= 0 with (Az)_q + p_q − m_q = a_q; minimize
@@ -123,22 +123,22 @@ let lp_decode rng oracle ~queries ~truth =
      the solver starts from the feasible basis z = 0, p = a (no phase 1). *)
   let nv = n + (2 * t) in
   let objective = Array.init nv (fun j -> if j >= n then 1. else 0.) in
-  let constraints = ref [] in
-  Array.iteri
-    (fun qi q ->
-      let row = Array.make nv 0. in
-      Array.iter (fun i -> row.(i) <- 1.) q;
-      row.(n + (2 * qi)) <- 1.;
-      row.(n + (2 * qi) + 1) <- -1.;
-      constraints := (row, Linalg.Simplex.Eq, answers.(qi)) :: !constraints)
-    qs;
-  for i = 0 to n - 1 do
-    let row = Array.make nv 0. in
-    row.(i) <- 1.;
-    constraints := (row, Linalg.Simplex.Le, 1.) :: !constraints
-  done;
+  let residual_rows =
+    List.init t (fun qi ->
+        let row = Array.make nv 0. in
+        Array.iter (fun i -> row.(i) <- 1.) qs.(qi);
+        row.(n + (2 * qi)) <- 1.;
+        row.(n + (2 * qi) + 1) <- -1.;
+        (row, Linalg.Simplex.Eq, answers.(qi)))
+  in
+  let box_rows =
+    List.init n (fun i ->
+        let row = Array.make nv 0. in
+        row.(i) <- 1.;
+        (row, Linalg.Simplex.Le, 1.))
+  in
   let problem =
-    { Linalg.Simplex.objective; constraints = List.rev !constraints }
+    { Linalg.Simplex.objective; constraints = residual_rows @ box_rows }
   in
   let estimate =
     match Linalg.Simplex.solve problem with

@@ -8,6 +8,21 @@ let spend t ~epsilon ?(delta = 0.) label =
   Telemetry.spend ();
   t.steps <- (label, epsilon, delta) :: t.steps
 
+(* One batched release spending [n] identical steps: the composition
+   bounds still see [n] analyses (advanced composition's k counts every
+   query), but the telemetry records a single spend event — the batch is
+   one release. *)
+let spend_many t ~epsilon ?(delta = 0.) ~n label =
+  if n < 0 then invalid_arg "Dp.Accountant.spend_many: n";
+  if epsilon <= 0. then invalid_arg "Dp.Accountant.spend_many: epsilon";
+  if delta < 0. || delta >= 1. then invalid_arg "Dp.Accountant.spend_many: delta";
+  if n > 0 then begin
+    Telemetry.spend ();
+    for _ = 1 to n do
+      t.steps <- (label, epsilon, delta) :: t.steps
+    done
+  end
+
 let steps t = List.rev t.steps
 
 let basic t =

@@ -16,6 +16,12 @@ val spend : t -> epsilon:float -> ?delta:float -> string -> unit
 (** Record one analysis (default [delta = 0.]). Raises [Invalid_argument]
     on negative arguments or [epsilon = 0]. *)
 
+val spend_many : t -> epsilon:float -> ?delta:float -> n:int -> string -> unit
+(** Record a batched release of [n] analyses at [epsilon] (and [delta])
+    each, under one label: the composition bounds count [n] steps, the
+    telemetry one spend event. [n = 0] records nothing. Raises
+    [Invalid_argument] on a negative [n] or invalid budgets. *)
+
 val steps : t -> (string * float * float) list
 (** [(label, epsilon, delta)] in the order spent. *)
 

@@ -1,0 +1,20 @@
+(** Vectorized noise sampling for batched releases.
+
+    Every sampler draws from one RNG stream in ascending index order, so
+    [laplace_many rng ~scale n] returns exactly
+    [[| laplace rng ~scale; ...n times... |]] drawn sequentially — the
+    noise vector of a batched mechanism is byte-identical to its
+    per-query predecessor at every [--jobs]. Bulk draws are accounted
+    under ["dp.noise_draws"]/["dp.noise_magnitude"] like sequential ones,
+    plus the ["dp.bulk_samples"] counter recording batch adoption.
+
+    All raise [Invalid_argument] on a negative [n]. *)
+
+val laplace_many : Prob.Rng.t -> scale:float -> int -> float array
+(** [n] i.i.d. Laplace(scale) draws. *)
+
+val gaussian_many : Prob.Rng.t -> mean:float -> std:float -> int -> float array
+(** [n] i.i.d. normal draws. *)
+
+val geometric_many : Prob.Rng.t -> alpha:float -> int -> int array
+(** [n] i.i.d. two-sided geometric draws ([P(k) ∝ alpha^|k|]). *)

@@ -13,3 +13,15 @@ let perturb rng ~epsilon ~delta ~sensitivity value =
 let count rng ~epsilon ~delta table q =
   let exact = Query.Predicate.count (Dataset.Table.schema table) q table in
   perturb rng ~epsilon ~delta ~sensitivity:1. (float_of_int exact)
+
+(* Batched analogue of Laplace.counts: both budgets split evenly across
+   the vector, counts in one shared pass, noise in one bulk draw. *)
+let counts rng ~epsilon ~delta table qs =
+  let nq = Array.length qs in
+  let k = float_of_int (max 1 nq) in
+  let std =
+    sigma ~epsilon:(epsilon /. k) ~delta:(delta /. k) ~sensitivity:1.
+  in
+  let exact = Query.Engine.counts table qs in
+  let noise = Bulk.gaussian_many rng ~mean:0. ~std nq in
+  Array.init nq (fun i -> float_of_int exact.(i) +. noise.(i))

@@ -11,3 +11,15 @@ val count :
 
 val perturb :
   Prob.Rng.t -> epsilon:float -> delta:float -> sensitivity:float -> float -> float
+
+val counts :
+  Prob.Rng.t ->
+  epsilon:float ->
+  delta:float ->
+  Dataset.Table.t ->
+  Query.Predicate.t array ->
+  float array
+(** (ε, δ)-DP answers to a count-query vector, both budgets split evenly
+    ([epsilon / #queries], [delta / #queries]), evaluated as one batch
+    with a bulk noise draw — byte-identical to per-query {!count} calls
+    at the split budgets. *)

@@ -7,3 +7,13 @@ let perturb rng ~epsilon value =
 let count rng ~epsilon table q =
   let exact = Query.Predicate.count (Dataset.Table.schema table) q table in
   perturb rng ~epsilon exact
+
+(* Batched analogue of Laplace.counts: shared columnar evaluation, bulk
+   two-sided-geometric noise, budget split evenly across the vector. *)
+let counts rng ~epsilon table qs =
+  if epsilon <= 0. then invalid_arg "Dp.Geometric: epsilon must be positive";
+  let nq = Array.length qs in
+  let per_query = epsilon /. float_of_int (max 1 nq) in
+  let exact = Query.Engine.counts table qs in
+  let noise = Bulk.geometric_many rng ~alpha:(Float.exp (-.per_query)) nq in
+  Array.init nq (fun i -> exact.(i) + noise.(i))

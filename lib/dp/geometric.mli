@@ -8,3 +8,10 @@ val count : Prob.Rng.t -> epsilon:float -> Dataset.Table.t -> Query.Predicate.t 
 
 val perturb : Prob.Rng.t -> epsilon:float -> int -> int
 (** Add two-sided geometric noise calibrated to sensitivity 1. *)
+
+val counts :
+  Prob.Rng.t -> epsilon:float -> Dataset.Table.t -> Query.Predicate.t array -> int
+  array
+(** ε-DP integer answers to a count-query vector (budget split evenly),
+    evaluated as one batch with a bulk noise draw — byte-identical to
+    calling {!count} per query at [epsilon / #queries]. *)

@@ -15,9 +15,19 @@ val sum : Prob.Rng.t -> epsilon:float -> lo:float -> hi:float -> float array -> 
 val mean : Prob.Rng.t -> epsilon:float -> lo:float -> hi:float -> float array -> float
 (** ε-DP mean: budget split between a noisy sum and a noisy count. *)
 
-val counts : Prob.Rng.t -> epsilon:float -> Dataset.Table.t -> Query.Predicate.t array -> float array
+val counts :
+  ?accountant:Accountant.t ->
+  Prob.Rng.t ->
+  epsilon:float ->
+  Dataset.Table.t ->
+  Query.Predicate.t array ->
+  float array
 (** Answers a vector of count queries under total budget [epsilon]
-    (sequential composition: each query gets [epsilon / #queries]). *)
+    (sequential composition: each query gets [epsilon / #queries]).
+    Evaluated as one batch — a shared columnar pass over the table and a
+    bulk noise draw — with answers byte-identical to asking each query in
+    turn. With [?accountant], the whole release is recorded as one
+    batched spend of [#queries] steps. *)
 
 val mechanism : epsilon:float -> Query.Predicate.t array -> Query.Mechanism.t
 (** The same as a {!Query.Mechanism.t}, for use in the PSO game. *)

@@ -30,4 +30,32 @@ let coin v =
   Obs.Counter.incr draws;
   v
 
+(* Draws sampled through the bulk (vectorized) path — Bulk and the batched
+   mechanisms. A subset of "dp.noise_draws", split out so the trajectory
+   of batch adoption is visible in the obs report. *)
+let bulk = Obs.Counter.make "dp.bulk_samples"
+
+(* Telemetry for a whole noise vector at once: per-sample magnitudes (the
+   histogram is what the DP auditors read), one counter add per batch.
+   The enabled check hoists out of the magnitude pass — per-sample [noise]
+   pays a no-op call per draw, but a bulk vector shouldn't pay a second
+   full pass just to record nothing. *)
+let noise_many xs =
+  if Obs.enabled () then begin
+    Array.iter (fun x -> Obs.Histogram.observe magnitude (Float.abs x)) xs;
+    Obs.Counter.add draws (Array.length xs);
+    Obs.Counter.add bulk (Array.length xs)
+  end;
+  xs
+
+let noise_many_int ks =
+  if Obs.enabled () then begin
+    Array.iter
+      (fun k -> Obs.Histogram.observe magnitude (Float.abs (float_of_int k)))
+      ks;
+    Obs.Counter.add draws (Array.length ks);
+    Obs.Counter.add bulk (Array.length ks)
+  end;
+  ks
+
 let spend () = Obs.Counter.incr spends

@@ -16,7 +16,8 @@ let measure rng ~trials ~n ~epsilon =
     match epsilon with
     | None -> (scheme.Pso.Composition.mechanism, 0.)
     | Some eps ->
-      ( Query.Mechanism.laplace_counts ~epsilon:eps scheme.Pso.Composition.queries,
+      ( Query.Mechanism.laplace_counts_batch ~epsilon:eps
+          scheme.Pso.Composition.batch,
         float_of_int nq /. eps )
   in
   let outcome =

@@ -2,10 +2,26 @@ module Predicate = Query.Predicate
 
 type t = {
   queries : Query.Predicate.t array;
+  batch : Query.Mechanism.batch;
   mechanism : Query.Mechanism.t;
   attacker : Attacker.t;
   ell : int;
 }
+
+(* Both constructors used to wrap [queries] in [Mechanism.exact_counts]
+   directly, so building the DP variant of a scheme (Theorems.dp_defends,
+   E6) compiled the same predicate array a second time. Now the scheme
+   carries one shared batch; every mechanism derived from it reuses the
+   compilation. *)
+let of_queries queries attacker ell =
+  let batch = Query.Mechanism.batch queries in
+  {
+    queries;
+    batch;
+    mechanism = Query.Mechanism.exact_counts_batch batch;
+    attacker;
+    ell;
+  }
 
 let check ~buckets ~ell =
   if buckets <= 0 then invalid_arg "Composition: buckets";
@@ -55,7 +71,7 @@ let single_bucket ~salt ~buckets ~ell =
           | Some _ | None -> fallback ~salt ~buckets);
     }
   in
-  { queries; mechanism = Query.Mechanism.exact_counts queries; attacker; ell }
+  of_queries queries attacker ell
 
 let scouted ~salt ~buckets ~ell ~scouts =
   check ~buckets ~ell;
@@ -85,7 +101,7 @@ let scouted ~salt ~buckets ~ell ~scouts =
           | Some _ | None -> fallback ~salt ~buckets);
     }
   in
-  { queries; mechanism = Query.Mechanism.exact_counts queries; attacker; ell }
+  of_queries queries attacker ell
 
 let weight_of_success ~buckets ~ell =
   Float.pow 0.5 (float_of_int ell) /. float_of_int buckets

@@ -15,6 +15,9 @@
 
 type t = {
   queries : Query.Predicate.t array;  (** the fixed count queries *)
+  batch : Query.Mechanism.batch;
+      (** the same queries as a shared batch: one compilation serving
+          [mechanism] and any DP variant built over the scheme *)
   mechanism : Query.Mechanism.t;  (** exact counts of [queries] (Thm 2.5's M#q, composed) *)
   attacker : Attacker.t;
   ell : int;  (** digest bits learned per bucket *)

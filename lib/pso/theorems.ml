@@ -210,7 +210,7 @@ let dp_prevents_pso ?(params = default_params) rng =
   let model = Lazy.force composition_model in
   let scheme = composition_scheme params rng in
   let epsilon = 1.0 in
-  let noisy = Mechanism.laplace_counts ~epsilon scheme.Composition.queries in
+  let noisy = Mechanism.laplace_counts_batch ~epsilon scheme.Composition.batch in
   let outcome =
     game params rng ~model ~mechanism:noisy ~attacker:scheme.Composition.attacker
   in

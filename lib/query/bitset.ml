@@ -77,15 +77,50 @@ let pop16 =
   done;
   t
 
-let popcount16 m = Char.code (Bytes.unsafe_get pop16 (m land 0xffff))
+let[@inline always] popcount16 m = Char.code (Bytes.unsafe_get pop16 (m land 0xffff))
 
-let popcount w =
-  popcount16 w
-  + popcount16 (w lsr 16)
-  + popcount16 (w lsr 32)
-  + popcount16 (w lsr 48)
+(* Full-word popcount is SWAR bit-twiddling rather than four table loads:
+   the batched evaluator popcounts every word of every predicate's row
+   set, and a dozen dependency-free ALU ops beat four serialized memory
+   reads there. Adapted to 63-bit ints: bit 62 forms a lone "pair" whose
+   high half shifts in zero, so the pairwise step still counts it, and
+   the byte-sum multiply cannot carry into the dropped sign position
+   because the total is at most 63. The odd-bits mask is assembled at
+   init — 0x5555555555555555 overflows the 63-bit literal range. *)
+let m1 = 0x1555555555555555 lor (1 lsl 62) (* bits 0, 2, ..., 62 *)
 
-let count t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
+let m2 = 0x3333333333333333
+
+let m4 = 0x0F0F0F0F0F0F0F0F
+
+let h01 = 0x0101010101010101
+
+(* [@inline always] matters: the hot loops popcount per word across
+   module boundaries, and an un-inlined call dominates the dozen ALU ops. *)
+let[@inline always] popcount w =
+  let x = w - ((w lsr 1) land m1) in
+  let x = (x land m2) + ((x lsr 2) land m2) in
+  let x = (x + (x lsr 4)) land m4 in
+  (x * h01) lsr 56
+
+(* Whole-array popcounts in C (bitset_stubs.c): counting is the only
+   thing a count query does with its row set, so it pays to cross the FFI
+   once per array instead of once per word. [tail] masks the final word's
+   live bits (pass [-1] when the tail is already clean). The [_and]/[_or]
+   variants fuse a root connective into the counting pass. *)
+external unsafe_count_words : int array -> int -> int -> int
+  = "pso_bitset_count_words"
+[@@noalloc]
+
+external unsafe_count_and : int array -> int array -> int -> int -> int
+  = "pso_bitset_count_and"
+[@@noalloc]
+
+external unsafe_count_or : int array -> int array -> int -> int -> int
+  = "pso_bitset_count_or"
+[@@noalloc]
+
+let count t = unsafe_count_words t.words (Array.length t.words) (-1)
 
 (* Stops scanning as soon as the running count exceeds [cap]; the result is
    exact when [<= cap] and some value [> cap] otherwise. [isolates] asks
@@ -119,3 +154,20 @@ let indices t =
   out
 
 let equal a b = a.len = b.len && a.words = b.words
+
+(* Internal surface for the batched evaluator (Predicate.count_many): it
+   runs a stack machine directly over the packed words of many atom
+   bitsets, so it needs the representation — words, the word count for a
+   length, and the live-bit mask of the tail word. *)
+
+let unsafe_words t = t.words
+
+let unsafe_of_words ~len words =
+  if len < 0 then invalid_arg "Bitset.unsafe_of_words: negative length";
+  if Array.length words <> nwords len then
+    invalid_arg "Bitset.unsafe_of_words: word count mismatch";
+  { len; words }
+
+let word_count = nwords
+
+let live_mask = tail_mask

@@ -119,6 +119,39 @@ let ask t p =
   in
   ask_subset t subset
 
+(* Subpopulation extraction for a whole question list at once. Replies
+   still go through [ask_subset] one by one in index order, so the
+   curator's state transitions (budget, audit, noise draws) are exactly
+   those of asking sequentially — [ask_many] and [Array.map (ask t)]
+   produce identical replies from identical starting states. *)
+let matching_many t schema ps =
+  match Predicate.engine () with
+  | Predicate.Interpreted -> Array.map (matching_interpreted t schema) ps
+  | Predicate.Compiled ->
+    let cs = Array.map (Predicate.compile schema) ps in
+    Array.map Bitset.indices (Predicate.bits_many t.table cs)
+  | Predicate.Checked ->
+    let cs = Array.map (Predicate.compile schema) ps in
+    let batch = Array.map Bitset.indices (Predicate.bits_many t.table cs) in
+    Array.iteri
+      (fun i b ->
+        let a = matching_interpreted t schema ps.(i) in
+        let c = Bitset.indices (Predicate.bits cs.(i) t.table) in
+        if a <> b || c <> b then
+          failwith
+            (Printf.sprintf "Curator.ask_many: engine mismatch on %s"
+               (Predicate.to_string ps.(i))))
+      batch;
+    batch
+
+let ask_many t ps =
+  let subsets = matching_many t (Table.schema t.table) ps in
+  let out = Array.make (Array.length ps) (Refusal "unasked") in
+  for i = 0 to Array.length ps - 1 do
+    out.(i) <- ask_subset t subsets.(i)
+  done;
+  out
+
 let answered t = t.answered
 
 let refused t = t.refused

@@ -46,6 +46,12 @@ val ask_subset : t -> int array -> reply
     Theorem 1.1 interface. Raises [Invalid_argument] on out-of-range
     indices. *)
 
+val ask_many : t -> Predicate.t array -> reply array
+(** Batched {!ask}: subpopulations are extracted in one shared columnar
+    pass ({!Predicate.bits_many}), then answered sequentially in index
+    order, so replies — including budget exhaustion, audit refusals and
+    noise draws — are exactly those of [Array.map (ask t)]. *)
+
 val answered : t -> int
 
 val refused : t -> int

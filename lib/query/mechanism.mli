@@ -28,11 +28,41 @@ val exact_count : Predicate.t -> t
 (** Theorem 2.5's [M#q]: the exact number of records satisfying [q]. *)
 
 val exact_counts : Predicate.t array -> t
-(** Tuple of exact counts — the composed mechanism of Theorem 2.8. *)
+(** Tuple of exact counts — the composed mechanism of Theorem 2.8.
+    Equivalent to [exact_counts_batch (batch qs)]. *)
 
 val laplace_counts : epsilon:float -> Predicate.t array -> t
 (** Counts with i.i.d. Laplace([len/epsilon]) noise: an [epsilon]-DP answer
     to the whole vector (sensitivity 1 per query, budget split evenly). *)
+
+(** {1 Batched query sets}
+
+    A [batch] is a predicate array plus its compilation, resolved once per
+    schema and reused across every run of every mechanism built from it —
+    the PSO game replays one mechanism thousands of times, and schemes like
+    {!Pso.Composition} build several mechanisms over the same queries.
+    Counts are evaluated through {!Engine.counts}: one shared columnar
+    scan with batch-wide atom dedup (and under the [Checked] engine, every
+    batch answer cross-validated against the per-predicate compiled path
+    and the interpreter). Outputs are identical to the unbatched
+    constructors on every input. *)
+
+type batch
+
+val batch : Predicate.t array -> batch
+
+val batch_queries : batch -> Predicate.t array
+
+val exact_counts_batch : ?pool:Parallel.Pool.t -> batch -> t
+(** [exact_counts] evaluating through the shared batch. With [?pool],
+    large batches fan across the domain pool (deterministic in-order
+    combine — see {!Engine.count_many}). *)
+
+val laplace_counts_batch :
+  ?pool:Parallel.Pool.t -> epsilon:float -> batch -> t
+(** [laplace_counts] over a shared batch: batched exact counts, then one
+    bulk noise pass drawing in ascending index order — byte-identical to
+    the sequential per-count draws at every [--jobs]. *)
 
 val identity_release : t
 (** Publishes the dataset as-is (the trivially non-anonymous baseline). *)

@@ -32,6 +32,17 @@ let ask t q =
   Obs.Counter.incr c_queries;
   t.noise q exact
 
+(* Explicit ascending loop (not Array.map, whose evaluation order the
+   stdlib leaves unspecified): the noise closure consumes an rng, and the
+   batched attackers rely on [ask_many t qs] drawing in the same order as
+   asking each query in turn. *)
+let ask_many t qs =
+  let out = Array.make (Array.length qs) 0. in
+  for i = 0 to Array.length qs - 1 do
+    out.(i) <- ask t qs.(i)
+  done;
+  out
+
 let check_binary data =
   Array.iter
     (fun v -> if v <> 0 && v <> 1 then invalid_arg "Oracle: dataset must be 0/1")

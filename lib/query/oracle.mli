@@ -21,6 +21,10 @@ val ask : t -> int array -> float
     [Query_limit_exceeded] past the cap and [Invalid_argument] on
     out-of-range indices. *)
 
+val ask_many : t -> int array array -> float array
+(** Answer a batch, drawing noise in ascending index order — identical
+    answers and limit behaviour to asking each query in turn. *)
+
 val exact : int array -> t
 (** Noise-free answers. Dataset entries must be 0/1. *)
 

@@ -95,6 +95,44 @@ val isolates_compiled : ?cache:bool -> compiled -> Dataset.Table.t -> bool
 val count_interpreted : Dataset.Schema.t -> t -> Dataset.Table.t -> int
 (** The reference row-by-row interpreter, regardless of engine mode. *)
 
+(** {2 Batched evaluation}
+
+    The attacks never ask one query: reconstruction, the PSO composition
+    game and the dpcheck audits each evaluate hundreds to thousands of
+    predicates against one table. The batch entry points share the work
+    the per-predicate path repeats per call: the columnar view is fetched
+    once, every distinct atom across the whole batch is hash-consed and
+    materialized exactly once (feeding the same bounded MRU cache, whose
+    capacity is grown to the batch), and each predicate's connectives are
+    fused into a postfix program evaluated word-by-word on a reusable
+    scratch stack — no intermediate bitset allocation at all.
+
+    Results are exactly [Array.map] of the per-predicate compiled path
+    (property-tested, and cross-checked under the [Checked] engine by
+    {!Engine.counts}). *)
+
+val count_many : ?cache:bool -> Dataset.Table.t -> compiled array -> int array
+(** [count_many table cs] is [Array.map (fun c -> count_compiled c table) cs],
+    computed with one shared scan. [cache] as in {!bits}. *)
+
+val isolates_many :
+  ?cache:bool -> Dataset.Table.t -> compiled array -> bool array
+(** Batched Definition 2.1: per-predicate popcounts short-circuit past 1. *)
+
+val bits_many : ?cache:bool -> Dataset.Table.t -> compiled array -> Bitset.t array
+(** Batched {!bits}: one freshly allocated row set per predicate, sharing
+    atom materialization across the batch. *)
+
+val atom_cache_capacity : unit -> int
+(** Current per-table atom-bitset cache bound. Starts at the
+    [PSO_ATOM_CACHE_ATOMS] environment variable (default 512) and grows
+    monotonically as batches reserve room, up to a fixed ceiling. *)
+
+val reserve_atom_capacity : int -> unit
+(** Grow (never shrink) the atom-cache bound to at least the argument,
+    clamped to the ceiling. Called by the batch planner with the number of
+    distinct atoms in the batch. *)
+
 (** {2 Engine selection} *)
 
 type engine =

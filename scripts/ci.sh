@@ -19,6 +19,11 @@
 #   7. bench kernel JSON: the predicate kernel triple's --json output must
 #      validate under pso_audit validate-json (the bench-kernels/v1
 #      contract)
+#   8. bench regression: the same --json output is compared against the
+#      newest committed BENCH_*.json snapshot with pso_audit bench-compare;
+#      any shared kernel more than 20% slower across three fresh
+#      measurements fails the gate (skipped with a notice when no snapshot
+#      is committed yet)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -83,5 +88,33 @@ fi
 # bench-kernels/v1 JSON that validates.
 dune exec bench/main.exe -- --no-tables --only predicates --json "$tmp2" > /dev/null
 dune exec bin/pso_audit.exe -- validate-json "$tmp2"
+
+# Bench regression gate: compare the fresh kernel timings against the
+# newest committed BENCH_*.json (the persisted perf trajectory). Kernels
+# only present on one side are reported but don't fail; a shared kernel
+# >20% slower does. Skipped when no snapshot has been committed yet.
+# Sub-10µs kernels jitter past 20% on a noisy machine, so a failed
+# comparison re-measures (fresh bench run) up to two more times — noise
+# passes on a retry, a real regression fails all three.
+baseline=$(ls BENCH_*.json 2>/dev/null | sort -V | tail -1 || true)
+if [ -n "$baseline" ]; then
+  bench_ok=0
+  for attempt in 1 2 3; do
+    if dune exec bin/pso_audit.exe -- bench-compare "$baseline" "$tmp2" --tolerance 20; then
+      bench_ok=1
+      break
+    fi
+    if [ "$attempt" -lt 3 ]; then
+      echo "ci: bench attempt $attempt regressed; re-measuring" >&2
+      dune exec bench/main.exe -- --no-tables --only predicates --json "$tmp2" > /dev/null
+    fi
+  done
+  if [ "$bench_ok" -ne 1 ]; then
+    echo "ci: bench regression persisted across 3 measurements vs $baseline" >&2
+    exit 1
+  fi
+else
+  echo "ci: no BENCH_*.json snapshot committed; skipping bench regression gate"
+fi
 
 echo "ci: ok (build + tests + jobs-determinism + golden tables + negative auditor + obs smoke + engine check + bench kernels)"

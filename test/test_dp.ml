@@ -440,6 +440,145 @@ let test_synthetic_rows_are_not_real_rows () =
   in
   Alcotest.(check int) "no verbatim leakage" 0 collisions
 
+(* --- bulk sampling --- *)
+
+let exact_floats = Alcotest.(array (float 0.))
+
+(* The Bulk samplers promise byte-identity to sequential draws from the
+   same stream; the loops below draw in explicit ascending order (the
+   order the contract names), so the check is exact equality, not a
+   statistical band. *)
+let test_bulk_matches_sequential_draws () =
+  let n = 64 in
+  let bulk_lap = Dp.Bulk.laplace_many (rng ()) ~scale:3. n in
+  let seq_lap = Array.make n 0. in
+  let r = rng () in
+  for i = 0 to n - 1 do
+    seq_lap.(i) <- Prob.Sampler.laplace r ~scale:3.
+  done;
+  Alcotest.check exact_floats "laplace_many" seq_lap bulk_lap;
+  let bulk_gauss = Dp.Bulk.gaussian_many (rng ()) ~mean:1. ~std:2. n in
+  let seq_gauss = Array.make n 0. in
+  let r = rng () in
+  for i = 0 to n - 1 do
+    seq_gauss.(i) <- Prob.Sampler.gaussian r ~mean:1. ~std:2.
+  done;
+  Alcotest.check exact_floats "gaussian_many" seq_gauss bulk_gauss;
+  let bulk_geo = Dp.Bulk.geometric_many (rng ()) ~alpha:0.5 n in
+  let seq_geo = Array.make n 0 in
+  let r = rng () in
+  for i = 0 to n - 1 do
+    seq_geo.(i) <- Prob.Sampler.two_sided_geometric r ~alpha:0.5
+  done;
+  Alcotest.(check (array int)) "geometric_many" seq_geo bulk_geo;
+  Alcotest.(check (array (float 0.))) "n = 0" [||]
+    (Dp.Bulk.laplace_many (rng ()) ~scale:1. 0)
+
+let test_bulk_validates () =
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) "negative n raises" true
+        (try
+           ignore (f ());
+           false
+         with Invalid_argument _ -> true))
+    [
+      (fun () -> ignore (Dp.Bulk.laplace_many (rng ()) ~scale:1. (-1)));
+      (fun () -> ignore (Dp.Bulk.gaussian_many (rng ()) ~mean:0. ~std:1. (-1)));
+      (fun () -> ignore (Dp.Bulk.geometric_many (rng ()) ~alpha:0.5 (-1)));
+    ]
+
+(* Batched counts must equal a hand-rolled per-query loop at the split
+   budget: counts are exact (no RNG), so the noise stream lines up. *)
+let batch_queries =
+  [|
+    P.True;
+    P.Atom (P.Eq ("a0", V.Int 1));
+    P.Atom (P.Range ("a1", 0., 2.));
+    P.True;
+  |]
+
+let test_batched_counts_match_per_query () =
+  let t = table 60 in
+  let k = Array.length batch_queries in
+  let eps = 1.2 in
+  let per = eps /. float_of_int k in
+  let lap_batch = Dp.Laplace.counts (rng ()) ~epsilon:eps t batch_queries in
+  let lap_loop = Array.make k 0. in
+  let r = rng () in
+  for i = 0 to k - 1 do
+    lap_loop.(i) <- Dp.Laplace.count r ~epsilon:per t batch_queries.(i)
+  done;
+  Alcotest.check exact_floats "laplace counts" lap_loop lap_batch;
+  let geo_batch = Dp.Geometric.counts (rng ()) ~epsilon:eps t batch_queries in
+  let geo_loop = Array.make k 0 in
+  let r = rng () in
+  for i = 0 to k - 1 do
+    geo_loop.(i) <- Dp.Geometric.count r ~epsilon:per t batch_queries.(i)
+  done;
+  Alcotest.(check (array int)) "geometric counts" geo_loop geo_batch;
+  let delta = 1e-5 in
+  let dper = delta /. float_of_int k in
+  let gauss_batch =
+    Dp.Gaussian.counts (rng ()) ~epsilon:eps ~delta t batch_queries
+  in
+  let gauss_loop = Array.make k 0. in
+  let r = rng () in
+  for i = 0 to k - 1 do
+    gauss_loop.(i) <-
+      Dp.Gaussian.count r ~epsilon:per ~delta:dper t batch_queries.(i)
+  done;
+  Alcotest.check exact_floats "gaussian counts" gauss_loop gauss_batch
+
+let test_accountant_spend_many () =
+  let a = Dp.Accountant.create () in
+  Dp.Accountant.spend_many a ~epsilon:0.1 ~n:5 "bulk";
+  Alcotest.(check int) "one step per query" 5
+    (List.length (Dp.Accountant.steps a));
+  let e, d = Dp.Accountant.basic a in
+  close ~tol:1e-12 "basic epsilon composes" 0.5 e;
+  close ~tol:1e-12 "no delta" 0. d;
+  Dp.Accountant.spend_many a ~epsilon:0.2 ~n:0 "noop";
+  Alcotest.(check int) "n = 0 spends nothing" 5
+    (List.length (Dp.Accountant.steps a));
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) "spend_many validates" true
+        (try
+           f ();
+           false
+         with Invalid_argument _ -> true))
+    [
+      (fun () -> Dp.Accountant.spend_many a ~epsilon:0.1 ~n:(-1) "bad");
+      (fun () -> Dp.Accountant.spend_many a ~epsilon:0. ~n:1 "bad");
+    ]
+
+let test_bulk_samples_counter () =
+  Obs.reset ();
+  Obs.enable ();
+  Fun.protect ~finally:Obs.disable (fun () ->
+      ignore (Dp.Bulk.laplace_many (rng ()) ~scale:1. 17);
+      ignore (Dp.Bulk.geometric_many (rng ()) ~alpha:0.5 5);
+      let counters =
+        List.filter_map
+          (fun ((m : Obs.Metric.meta), v) ->
+            if m.Obs.Metric.timing then None else Some (m.Obs.Metric.name, v))
+          (Obs.snapshot ()).Obs.Metric.counters
+      in
+      Alcotest.(check (option int)) "bulk samples counted" (Some 22)
+        (List.assoc_opt "dp.bulk_samples" counters);
+      Alcotest.(check (option int)) "bulk draws are noise draws" (Some 22)
+        (List.assoc_opt "dp.noise_draws" counters))
+
+let test_laplace_counts_accountant () =
+  let t = table 30 in
+  let a = Dp.Accountant.create () in
+  ignore (Dp.Laplace.counts ~accountant:a (rng ()) ~epsilon:1. t batch_queries);
+  Alcotest.(check int) "one step per released count"
+    (Array.length batch_queries)
+    (List.length (Dp.Accountant.steps a));
+  close ~tol:1e-12 "total budget recorded" 1. (fst (Dp.Accountant.basic a))
+
 (* --- QCheck properties --- *)
 
 let qcheck =
@@ -568,6 +707,19 @@ let () =
             test_accountant_advanced_beats_basic_for_many_queries;
           Alcotest.test_case "empty" `Quick test_accountant_empty;
           Alcotest.test_case "validates" `Quick test_accountant_validates;
+          Alcotest.test_case "spend_many" `Quick test_accountant_spend_many;
+        ] );
+      ( "bulk",
+        [
+          Alcotest.test_case "matches sequential draws" `Quick
+            test_bulk_matches_sequential_draws;
+          Alcotest.test_case "validates" `Quick test_bulk_validates;
+          Alcotest.test_case "batched counts match per-query" `Quick
+            test_batched_counts_match_per_query;
+          Alcotest.test_case "bulk samples counter" `Quick
+            test_bulk_samples_counter;
+          Alcotest.test_case "laplace counts accountant" `Quick
+            test_laplace_counts_accountant;
         ] );
       ("properties", qcheck);
     ]

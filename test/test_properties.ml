@@ -100,6 +100,27 @@ let prop_engines_agree =
       && Array.length (Query.Bitset.indices b) = interp
       && P.isolates_compiled c t = (interp = 1))
 
+let prop_count_many_matches_counts =
+  qcheck ~count:100 "batched count_many equals the per-predicate loop"
+    QCheck.Gen.(
+      Gen.model_table >>= fun (m, t) ->
+      list_size (int_range 0 10) (Gen.predicate m) >>= fun ps ->
+      return (m, t, ps))
+    (fun (m, t, ps) ->
+      let sch = Dataset.Model.schema m in
+      (* Duplicate the whole list so the batch always contains repeated
+         programs (and hence repeated atoms) — the dedup paths must fan
+         identical answers out to every duplicate slot. *)
+      let qs = Array.of_list (ps @ ps) in
+      let cs = Array.map (fun q -> P.compile sch q) qs in
+      let expected = Array.map (fun c -> P.count_compiled c t) cs in
+      let interp = Array.map (fun q -> P.count_interpreted sch q t) qs in
+      P.count_many t cs = expected
+      && P.count_many ~cache:false t cs = expected
+      && expected = interp
+      && P.isolates_many t cs = Array.map (fun n -> n = 1) expected
+      && Array.map Query.Bitset.count (P.bits_many t cs) = expected)
+
 let prop_exact_count_mechanism =
   qcheck "exact_count mechanism returns the true count" Gen.model_table_predicate
     (fun (m, t, p) ->
@@ -210,6 +231,7 @@ let () =
         [
           prop_count_matches_eval;
           prop_engines_agree;
+          prop_count_many_matches_counts;
           prop_weight_in_unit_interval;
           prop_weight_conjunction_bounded;
           prop_exact_count_mechanism;

@@ -716,6 +716,181 @@ let test_checked_engine_full_stack () =
       test_erasure_recompute_forgets ();
       test_erasure_cached_retains ())
 
+(* --- batched evaluation --- *)
+
+(* Telemetry on for one test, off again after (suite independence). *)
+let with_obs f =
+  Obs.reset ();
+  Obs.enable ();
+  Fun.protect ~finally:Obs.disable f
+
+let batch_table = lazy (Dataset.Model.sample_table (rng ()) model 500)
+
+(* A batch with duplicate predicates and heavily shared atoms: slots 0/3
+   and 1/4 are equal predicates (program dedup must fan one answer out),
+   and the same Eq atoms recur across different connective shapes (atom
+   dedup must build each bitset once). *)
+let batch_preds =
+  let a0 = P.Atom (P.Eq ("a0", V.Int 1)) in
+  let a1 = P.Atom (P.Eq ("a1", V.Int 2)) in
+  let r = P.Atom (P.Range ("a2", 0., 4.)) in
+  [| a0; P.And (a0, a1); P.Or (P.Not a0, r); a0; P.And (a0, a1);
+     P.And (P.Or (a0, a1), P.Not r); P.True; P.False |]
+
+let test_count_many_matches_loop () =
+  let t = Lazy.force batch_table in
+  let cs = Array.map (fun p -> P.compile schema p) batch_preds in
+  let expected = Array.map (fun c -> P.count_compiled c t) cs in
+  Alcotest.(check (array int)) "count_many" expected (P.count_many t cs);
+  Alcotest.(check (array int)) "count_many uncached" expected
+    (P.count_many ~cache:false t cs);
+  Alcotest.(check (array bool)) "isolates_many"
+    (Array.map (fun n -> n = 1) expected)
+    (P.isolates_many t cs);
+  Alcotest.(check (array int)) "bits_many counts" expected
+    (Array.map B.count (P.bits_many t cs));
+  Alcotest.(check (array int)) "empty batch" [||] (P.count_many t [||])
+
+let test_engine_counts_dispatch () =
+  let t = Lazy.force batch_table in
+  let expected =
+    Array.map (fun p -> P.count_interpreted schema p t) batch_preds
+  in
+  List.iter
+    (fun e ->
+      with_engine e (fun () ->
+          Alcotest.(check (array int))
+            (P.engine_name e ^ " counts") expected
+            (Query.Engine.counts t batch_preds);
+          Alcotest.(check (array bool))
+            (P.engine_name e ^ " isolations")
+            (Array.map (fun n -> n = 1) expected)
+            (Query.Engine.isolations t batch_preds)))
+    [ P.Interpreted; P.Compiled; P.Checked ];
+  (* Reusing a caller-held compilation must not change answers. *)
+  let cs = Array.map (fun p -> P.compile schema p) batch_preds in
+  Alcotest.(check (array int)) "counts with ?compiled" expected
+    (Query.Engine.counts ~compiled:cs t batch_preds)
+
+let test_engine_counts_pool_deterministic () =
+  (* Above the chunking threshold, answers must be identical with and
+     without a pool, at several pool sizes. *)
+  let t = Lazy.force batch_table in
+  let qs =
+    Array.init 300 (fun i ->
+        let base = batch_preds.(i mod Array.length batch_preds) in
+        if i mod 2 = 0 then base
+        else P.And (base, P.Atom (P.Range ("a1", 0., float_of_int (i mod 8)))))
+  in
+  let sequential = Query.Engine.counts t qs in
+  List.iter
+    (fun jobs ->
+      let pool = Parallel.Pool.create ~jobs () in
+      Fun.protect
+        ~finally:(fun () -> Parallel.Pool.shutdown pool)
+        (fun () ->
+          Alcotest.(check (array int))
+            (Printf.sprintf "counts at jobs=%d" jobs)
+            sequential
+            (Query.Engine.counts ~pool t qs)))
+    [ 1; 2; 4 ]
+
+let test_mechanism_batch () =
+  let t = Lazy.force batch_table in
+  let b = Query.Mechanism.batch batch_preds in
+  Alcotest.(check int) "batch_queries" (Array.length batch_preds)
+    (Array.length (Query.Mechanism.batch_queries b));
+  let plain = Query.Mechanism.exact_counts batch_preds in
+  let batched = Query.Mechanism.exact_counts_batch b in
+  Alcotest.(check string) "exact name preserved"
+    plain.Query.Mechanism.name batched.Query.Mechanism.name;
+  Alcotest.(check bool) "exact outputs equal" true
+    (Query.Mechanism.run plain (rng ()) t
+    = Query.Mechanism.run batched (rng ()) t);
+  (* Reusing one batch across runs (the composition game's pattern) must
+     keep returning the same answers. *)
+  Alcotest.(check bool) "batch reuse stable" true
+    (Query.Mechanism.run batched (rng ()) t
+    = Query.Mechanism.run batched (rng ()) t);
+  let nl = Query.Mechanism.laplace_counts ~epsilon:1. batch_preds in
+  let nb = Query.Mechanism.laplace_counts_batch ~epsilon:1. b in
+  Alcotest.(check string) "laplace name preserved"
+    nl.Query.Mechanism.name nb.Query.Mechanism.name;
+  Alcotest.(check bool) "laplace outputs equal at fixed seed" true
+    (Query.Mechanism.run nl (rng ()) t = Query.Mechanism.run nb (rng ()) t)
+
+let test_curator_ask_many () =
+  let t = curator_table 40 in
+  let ps =
+    [|
+      P.True;
+      P.Atom (P.Eq ("grp", V.Int 1));
+      P.Atom (P.Range ("grp", 0., 2.));
+      P.True;
+    |]
+  in
+  let render = function
+    | Query.Curator.Answer x -> Printf.sprintf "Answer %g" x
+    | Query.Curator.Refusal r -> "Refusal " ^ r
+  in
+  let make () =
+    Query.Curator.create ~policy:Query.Curator.Exact ~target:"trait" t
+  in
+  let many = Query.Curator.ask_many (make ()) ps in
+  let loop =
+    let c = make () in
+    Array.map (fun p -> Query.Curator.ask c p) ps
+  in
+  Alcotest.(check (array string)) "ask_many = per-query ask"
+    (Array.map render loop) (Array.map render many);
+  (* Budget accounting matches: each batched query spends like an ask. *)
+  let c = make () in
+  ignore (Query.Curator.ask_many c ps);
+  Alcotest.(check int) "answered" (Array.length ps) (Query.Curator.answered c)
+
+let test_oracle_ask_many () =
+  let data = Array.init 20 (fun i -> i mod 2) in
+  let subsets = Array.init 6 (fun i -> Array.init (i + 2) (fun j -> j)) in
+  let o1 = Query.Oracle.exact data in
+  let many = Query.Oracle.ask_many o1 subsets in
+  let o2 = Query.Oracle.exact data in
+  let loop = Array.map (fun s -> Query.Oracle.ask o2 s) subsets in
+  Alcotest.(check (array (float 0.))) "exact ask_many = loop" loop many;
+  Alcotest.(check int) "asked counts batch" (Array.length subsets)
+    (Query.Oracle.asked o1);
+  (* A noisy oracle consumes its RNG in slot order, so a fixed seed gives
+     identical answers batched and looped. *)
+  let noisy seed = Query.Oracle.laplace
+      (Prob.Rng.create ~seed ()) ~scale:2. data
+  in
+  Alcotest.(check (array (float 0.))) "laplace ask_many = loop"
+    (let o = noisy 5L in Array.map (fun s -> Query.Oracle.ask o s) subsets)
+    (Query.Oracle.ask_many (noisy 5L) subsets)
+
+let test_batch_counters () =
+  (* The dedup machinery must prove itself in telemetry: a batch with
+     repeated atoms reports dedup hits, and a batch sized within the atom
+     cache bound never rejects a bitset. *)
+  with_obs (fun () ->
+      let t = Lazy.force batch_table in
+      let cs = Array.map (fun p -> P.compile schema p) batch_preds in
+      ignore (P.count_many t cs);
+      ignore (P.count_many t cs);
+      let counters =
+        List.filter_map
+          (fun ((m : Obs.Metric.meta), v) ->
+            if m.Obs.Metric.timing then None else Some (m.Obs.Metric.name, v))
+          (Obs.snapshot ()).Obs.Metric.counters
+      in
+      let value name = Option.value ~default:0 (List.assoc_opt name counters) in
+      Alcotest.(check int) "batch_evals counts both batches"
+        (2 * Array.length cs)
+        (value "query.batch_evals");
+      Alcotest.(check bool) "atom dedup hits recorded" true
+        (value "query.batch_atom_dedup_hits" > 0);
+      Alcotest.(check int) "no cache rejections" 0
+        (value "query.bitset_cache_rejected"))
+
 (* --- QCheck properties --- *)
 
 let qcheck =
@@ -896,6 +1071,18 @@ let () =
           Alcotest.test_case "cache invalidation" `Quick test_engine_cache_invalidation;
           Alcotest.test_case "engine_of_string" `Quick test_engine_of_string;
           Alcotest.test_case "checked full stack" `Quick test_checked_engine_full_stack;
+        ] );
+      ( "batch",
+        [
+          Alcotest.test_case "count_many matches the loop" `Quick
+            test_count_many_matches_loop;
+          Alcotest.test_case "engine dispatch" `Quick test_engine_counts_dispatch;
+          Alcotest.test_case "pool determinism" `Quick
+            test_engine_counts_pool_deterministic;
+          Alcotest.test_case "mechanism batch" `Quick test_mechanism_batch;
+          Alcotest.test_case "curator ask_many" `Quick test_curator_ask_many;
+          Alcotest.test_case "oracle ask_many" `Quick test_oracle_ask_many;
+          Alcotest.test_case "telemetry counters" `Quick test_batch_counters;
         ] );
       ("properties", qcheck);
     ]
