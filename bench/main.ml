@@ -204,7 +204,7 @@ let predicate_batch =
      (* Duplicate a slice wholesale: batches repeat whole predicates too. *)
      Array.blit qs 0 qs (predicate_batch_size - 50) 50;
      let cs = Array.map (compile schema) qs in
-     (table, cs))
+     (table, qs, cs))
 
 let predicate_kernel_tests () =
   let schema, table, p = Lazy.force predicate_bench in
@@ -213,7 +213,7 @@ let predicate_kernel_tests () =
   let check got =
     if got <> expected then failwith "predicate kernel: engines disagree"
   in
-  let btable, bcs = Lazy.force predicate_batch in
+  let btable, bqs, bcs = Lazy.force predicate_batch in
   let bexpected =
     Array.map (fun c -> Query.Predicate.count_compiled c btable) bcs
   in
@@ -224,6 +224,13 @@ let predicate_kernel_tests () =
      side is the old per-draw path (sampler + per-draw telemetry). *)
   let noise_rng = Prob.Rng.create ~seed:79L () in
   let noise_scale = 100. in
+  (* The audit-ledger overhead pair: the same batched exact-counts
+     mechanism run with the ledger off and on. The on side resets the
+     journal per run so the buffer never grows across Bechamel samples;
+     CI holds the pair within a relative tolerance (scripts/ci.sh,
+     pso_audit bench-pair). *)
+  let ledger_mech = Query.Mechanism.exact_counts_batch (Query.Mechanism.batch bqs) in
+  let ledger_rng = Prob.Rng.create ~seed:80L () in
   [
     Test.make ~name:"predicate-count-interp"
       (Staged.stage (fun () ->
@@ -239,6 +246,19 @@ let predicate_kernel_tests () =
            bcheck (Array.map (fun c -> Query.Predicate.count_compiled c btable) bcs)));
     Test.make ~name:"predicate-count-batched"
       (Staged.stage (fun () -> bcheck (Query.Predicate.count_many btable bcs)));
+    Test.make ~name:"ledger-off-count-batched"
+      (Staged.stage (fun () ->
+           let was = Obs.Ledger.enabled () in
+           Obs.Ledger.disable ();
+           ignore (Query.Mechanism.run ledger_mech ledger_rng btable);
+           if was then Obs.Ledger.enable ()));
+    Test.make ~name:"ledger-on-count-batched"
+      (Staged.stage (fun () ->
+           let was = Obs.Ledger.enabled () in
+           Obs.Ledger.reset ();
+           Obs.Ledger.enable ();
+           ignore (Query.Mechanism.run ledger_mech ledger_rng btable);
+           if not was then Obs.Ledger.disable ()));
     Test.make ~name:"mechanism-noise-loop"
       (Staged.stage (fun () ->
            for _ = 1 to predicate_batch_size do
@@ -324,6 +344,7 @@ let () =
   let trace = ref None in
   let metrics_json = ref None in
   let metrics = ref false in
+  let ledger = ref None in
   let progress = ref false in
   let args =
     [
@@ -344,6 +365,9 @@ let () =
       ( "--metrics-json",
         Arg.String (fun s -> metrics_json := Some s),
         "write counters and histograms as obs-metrics/v1 JSON" );
+      ( "--ledger",
+        Arg.String (fun s -> ledger := Some s),
+        "write the audit journal as ledger/v1 JSONL to FILE" );
       ("--metrics", Arg.Set metrics, "print a metrics summary table to stderr");
       ("--progress", Arg.Set progress, "stderr heartbeat with items/sec and ETA");
     ]
@@ -380,11 +404,21 @@ let () =
     Obs.reset ();
     Obs.enable ()
   end;
+  if !ledger <> None then begin
+    Obs.Ledger.reset ();
+    Obs.Ledger.enable ()
+  end;
   let scale = if !full then Experiments.Common.Full else Experiments.Common.Quick in
   if !tables then
     if !speedup then speedup_tables ~scale ~only:!only ~jobs:!jobs ()
     else experiment_tables ~scale ~only:!only ();
   if !perf then perf_benchmarks ~only:!only ~json:!json ~jobs:!jobs ();
+  Option.iter
+    (fun path ->
+      Obs.Ledger.disable ();
+      Obs.Ledger.write_file path;
+      Format.eprintf "[obs] wrote %s to %s@." Obs.Ledger.schema path)
+    !ledger;
   if obs_wanted then begin
     let report = Obs.snapshot ~jobs:!jobs () in
     Option.iter

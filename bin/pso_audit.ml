@@ -76,6 +76,7 @@ type obs_cfg = {
   metrics_json : string option;
   metrics : bool;
   progress : bool;
+  ledger : string option;
 }
 
 let obs_term =
@@ -107,18 +108,46 @@ let obs_term =
       & info [ "progress" ]
           ~doc:"Print a heartbeat with items/sec and ETA to stderr.")
   in
+  let ledger =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "ledger" ] ~docv:"FILE"
+          ~doc:
+            "Journal every query, refusal, noise draw, budget spend and \
+             suppression to FILE as ledger/v1 JSONL (byte-identical at \
+             every --jobs for a fixed seed); re-check it with $(b,pso_audit \
+             ledger-verify).")
+  in
   Term.(
-    const (fun trace metrics_json metrics progress ->
-        { trace; metrics_json; metrics; progress })
-    $ trace $ metrics_json $ metrics $ progress)
+    const (fun trace metrics_json metrics progress ledger ->
+        { trace; metrics_json; metrics; progress; ledger })
+    $ trace $ metrics_json $ metrics $ progress $ ledger)
 
 (* Runs [f] with telemetry enabled when any obs output was requested, then
    exports. [f] returns an exit code instead of calling [exit] directly so
    the snapshot/export runs before the process terminates. *)
 let with_obs cfg f =
   if cfg.progress then Obs.Progress.enable ();
+  (match cfg.ledger with
+  | Some _ ->
+    Obs.Ledger.reset ();
+    Obs.Ledger.enable ()
+  | None -> ());
+  let finish_ledger () =
+    Option.iter
+      (fun path ->
+        Obs.Ledger.disable ();
+        Obs.Ledger.write_file path;
+        Format.eprintf "[obs] wrote %s to %s@." Obs.Ledger.schema path)
+      cfg.ledger
+  in
   let wanted = cfg.trace <> None || cfg.metrics_json <> None || cfg.metrics in
-  if not wanted then f ()
+  if not wanted then begin
+    let code = f () in
+    finish_ledger ();
+    code
+  end
   else begin
     Obs.reset ();
     Obs.enable ();
@@ -137,6 +166,7 @@ let with_obs cfg f =
         Format.eprintf "[obs] wrote %s to %s@." Obs.Export.schema path)
       cfg.metrics_json;
     if cfg.metrics then Format.eprintf "%a@." Obs.Export.pp_summary report;
+    finish_ledger ();
     code
   end
 
@@ -613,17 +643,41 @@ let validate_json_cmd =
             Format.eprintf "pso_audit: cannot read %s: %s@." path msg;
             exit 2
         in
+        let schema_of doc =
+          match Core.Json.member "schema" doc with
+          | Some (Core.Json.String s) -> s
+          | _ -> "unknown schema"
+        in
         match Core.Json.of_string contents with
-        | Error msg ->
-          Format.eprintf "pso_audit: %s: invalid JSON: %s@." path msg;
-          exit 2
-        | Ok doc ->
-          let schema =
-            match Core.Json.member "schema" doc with
-            | Some (Core.Json.String s) -> s
-            | _ -> "unknown schema"
+        | Ok doc -> Format.printf "ok: %s (%s)@." path (schema_of doc)
+        | Error msg -> (
+          (* Not one document — maybe JSONL (the --ledger output): every
+             non-empty line must parse on its own. *)
+          let lines =
+            String.split_on_char '\n' contents
+            |> List.filter (fun l -> String.trim l <> "")
           in
-          Format.printf "ok: %s (%s)@." path schema)
+          match lines with
+          | [] | [ _ ] ->
+            Format.eprintf "pso_audit: %s: invalid JSON: %s@." path msg;
+            exit 2
+          | first :: _ ->
+            List.iteri
+              (fun i l ->
+                match Core.Json.of_string l with
+                | Ok _ -> ()
+                | Error lmsg ->
+                  Format.eprintf "pso_audit: %s: invalid JSON (line %d): %s@."
+                    path (i + 1) lmsg;
+                  exit 2)
+              lines;
+            let schema =
+              match Core.Json.of_string first with
+              | Ok doc -> schema_of doc
+              | Error _ -> "unknown schema"
+            in
+            Format.printf "ok: %s (%s, %d lines)@." path schema
+              (List.length lines)))
       files
   in
   let files_arg =
@@ -635,6 +689,70 @@ let validate_json_cmd =
          "Parse JSON files (e.g. --trace / --metrics-json output) and report \
           their schema; exits 2 on malformed input.")
     Term.(const run $ files_arg)
+
+(* --- ledger-verify / ledger-report --- *)
+
+let read_ledger path =
+  match Obs.Ledger.read path with
+  | Ok events -> events
+  | Error msg ->
+    Format.eprintf "pso_audit: %s: %s@." path msg;
+    exit 2
+  | exception Sys_error msg ->
+    Format.eprintf "pso_audit: cannot read %s: %s@." path msg;
+    exit 2
+
+let ledger_file_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"LEDGER" ~doc:"A ledger/v1 JSONL file (from --ledger).")
+
+let ledger_verify_cmd =
+  let run path =
+    let events = read_ledger path in
+    match Obs.Ledger.verify events with
+    | [] ->
+      Format.printf "ok: %s: %d event(s), accountant arithmetic verified@."
+        path (List.length events)
+    | vs ->
+      List.iter
+        (fun (v : Obs.Ledger.violation) ->
+          Format.printf "%s:%d: %s@." path v.Obs.Ledger.at v.Obs.Ledger.what)
+        vs;
+      Format.printf "%s: %d violation(s)@." path (List.length vs);
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "ledger-verify"
+       ~doc:
+         "Replay an audit ledger and mechanically re-check it: sessions \
+          precede use, cumulative eps per analyst matches the spends and \
+          never exceeds the declared budget, spend_many totals match, and \
+          every refusal is justified. Exits 1 on any violation, 2 on \
+          malformed input.")
+    Term.(const run $ ledger_file_arg)
+
+let ledger_report_cmd =
+  let run path =
+    let events = read_ledger path in
+    let rows = Obs.Ledger.report events in
+    Format.printf "ledger report: %s (%d event(s))@." path (List.length events);
+    Format.printf "%a" Obs.Ledger.pp_report rows;
+    let violations = Obs.Ledger.verify events in
+    if violations <> [] then begin
+      Format.printf "WARNING: %d violation(s) — run ledger-verify@."
+        (List.length violations);
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "ledger-report"
+       ~doc:
+         "Print per-analyst tables (queries, refusals, eps spent/remaining, \
+          cost p50/p95/p99) from an audit ledger. Exits 1 if the ledger \
+          does not verify, 2 on malformed input.")
+    Term.(const run $ ledger_file_arg)
 
 (* --- bench-compare --- *)
 
@@ -758,6 +876,72 @@ let bench_compare_cmd =
           malformed input.")
     Term.(const run $ base_arg $ current_arg $ tolerance_arg)
 
+(* --- bench-pair --- *)
+
+(* Within-snapshot comparison of two kernels (e.g. the ledger-off /
+   ledger-on pair): the overhead gate needs a relative bound between two
+   kernels of the *same* run, which bench-compare (two files, same
+   kernel) cannot express. *)
+let bench_pair_cmd =
+  let run snapshot base current tolerance =
+    if tolerance < 0. then begin
+      Format.eprintf "pso_audit: --tolerance must be >= 0 (got %g)@." tolerance;
+      exit 2
+    end;
+    let rows = read_bench_snapshot snapshot in
+    let find name =
+      match List.assoc_opt name rows with
+      | Some ns -> ns
+      | None ->
+        Format.eprintf "pso_audit: %s: no kernel %S (have: %s)@." snapshot name
+          (String.concat ", " (List.map fst rows));
+        exit 2
+    in
+    let b_ns = find base in
+    let c_ns = find current in
+    let delta = 100. *. ((c_ns /. b_ns) -. 1.) in
+    Format.printf
+      "bench-pair: %s: %s (%.2f us) -> %s (%.2f us)  %+.1f%% (tolerance \
+       %+g%%)@."
+      snapshot base (b_ns /. 1e3) current (c_ns /. 1e3) delta tolerance;
+    if delta > tolerance then begin
+      Format.printf "overhead beyond tolerance@.";
+      exit 1
+    end
+    else Format.printf "within tolerance@."
+  in
+  let snapshot_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SNAPSHOT" ~doc:"A bench-kernels/v1 snapshot.")
+  in
+  let base_arg =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"BASE" ~doc:"Baseline kernel name.")
+  in
+  let current_arg =
+    Arg.(
+      required
+      & pos 2 (some string) None
+      & info [] ~docv:"CURRENT" ~doc:"Kernel name to compare against BASE.")
+  in
+  let tolerance_arg =
+    Arg.(
+      value & opt float 10.
+      & info [ "tolerance" ] ~docv:"PCT"
+          ~doc:"Allowed slowdown of CURRENT over BASE in percent.")
+  in
+  Cmd.v
+    (Cmd.info "bench-pair"
+       ~doc:
+         "Compare two kernels within one bench-kernels/v1 snapshot; exits 1 \
+          when CURRENT is slower than BASE by more than the tolerance, 2 on \
+          malformed input or unknown kernels.")
+    Term.(const run $ snapshot_arg $ base_arg $ current_arg $ tolerance_arg)
+
 let () =
   let doc = "singling-out: PSO games, attacks and legal theorems (PODS 2021)" in
   exit
@@ -766,5 +950,6 @@ let () =
           [
             synth_cmd; anonymize_cmd; game_cmd; audit_cmd; theorems_cmd; report_cmd;
             dpcheck_cmd; experiment_cmd; run_cmd; validate_json_cmd;
-            bench_compare_cmd;
+            ledger_verify_cmd; ledger_report_cmd; bench_compare_cmd;
+            bench_pair_cmd;
           ]))

@@ -1,12 +1,30 @@
-type t = { mutable steps : (string * float * float) list }
+type t = {
+  analyst : string;  (* audit-ledger session id *)
+  mutable steps : (string * float * float) list;
+  mutable spent_eps : float;  (* running Σ ε, the ledger's cumulative field *)
+}
 
-let create () = { steps = [] }
+(* Each accountant journals under its own deterministic analyst id, so
+   [Obs.Ledger.verify] can replay every accountant's arithmetic
+   independently even when several are live in one run. *)
+let create () =
+  let analyst =
+    if Obs.Ledger.enabled () then Obs.Ledger.fresh_analyst ()
+    else Obs.Ledger.ambient_analyst
+  in
+  if Obs.Ledger.enabled () then
+    Obs.Ledger.session ~analyst ~policy:"accountant" ();
+  { analyst; steps = []; spent_eps = 0. }
 
 let spend t ~epsilon ?(delta = 0.) label =
   if epsilon <= 0. then invalid_arg "Dp.Accountant.spend: epsilon";
   if delta < 0. || delta >= 1. then invalid_arg "Dp.Accountant.spend: delta";
   Telemetry.spend ();
-  t.steps <- (label, epsilon, delta) :: t.steps
+  Obs.Gauge.add Telemetry.epsilon_spent epsilon;
+  t.steps <- (label, epsilon, delta) :: t.steps;
+  t.spent_eps <- t.spent_eps +. epsilon;
+  Obs.Ledger.spend ~analyst:t.analyst ~label ~epsilon ~delta
+    ~cumulative:t.spent_eps ()
 
 (* One batched release spending [n] identical steps: the composition
    bounds still see [n] analyses (advanced composition's k counts every
@@ -18,10 +36,16 @@ let spend_many t ~epsilon ?(delta = 0.) ~n label =
   if delta < 0. || delta >= 1. then invalid_arg "Dp.Accountant.spend_many: delta";
   if n > 0 then begin
     Telemetry.spend ();
+    Obs.Gauge.add_scaled Telemetry.epsilon_spent epsilon n;
     for _ = 1 to n do
       t.steps <- (label, epsilon, delta) :: t.steps
-    done
+    done;
+    let total = epsilon *. float_of_int n in
+    t.spent_eps <- t.spent_eps +. total;
+    Obs.Ledger.spend_many ~analyst:t.analyst ~label ~epsilon ~n ~total
   end
+
+let spent_epsilon t = t.spent_eps
 
 let steps t = List.rev t.steps
 

@@ -17,7 +17,7 @@ let laplace_many rng ~scale n =
   for i = 0 to n - 1 do
     out.(i) <- Prob.Sampler.laplace rng ~scale
   done;
-  Telemetry.noise_many out
+  Telemetry.noise_many ~mechanism:"laplace" ~scale out
 
 let gaussian_many rng ~mean ~std n =
   check_n "gaussian_many" n;
@@ -25,7 +25,7 @@ let gaussian_many rng ~mean ~std n =
   for i = 0 to n - 1 do
     out.(i) <- Prob.Sampler.gaussian rng ~mean ~std
   done;
-  Telemetry.noise_many out
+  Telemetry.noise_many ~mechanism:"gaussian" ~scale:std out
 
 let geometric_many rng ~alpha n =
   check_n "geometric_many" n;
@@ -33,4 +33,6 @@ let geometric_many rng ~alpha n =
   for i = 0 to n - 1 do
     out.(i) <- Prob.Sampler.two_sided_geometric rng ~alpha
   done;
-  Telemetry.noise_many_int out
+  Telemetry.noise_many_int ~mechanism:"geometric"
+    ~scale:(1. /. Float.max 1e-300 (-.Float.log alpha))
+    out

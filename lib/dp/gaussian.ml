@@ -5,10 +5,10 @@ let sigma ~epsilon ~delta ~sensitivity =
   sensitivity *. Float.sqrt (2. *. Float.log (1.25 /. delta)) /. epsilon
 
 let perturb rng ~epsilon ~delta ~sensitivity value =
+  let std = sigma ~epsilon ~delta ~sensitivity in
   value
-  +. Telemetry.noise
-       (Prob.Sampler.gaussian rng ~mean:0.
-          ~std:(sigma ~epsilon ~delta ~sensitivity))
+  +. Telemetry.noise ~mechanism:"gaussian" ~scale:std
+       (Prob.Sampler.gaussian rng ~mean:0. ~std)
 
 let count rng ~epsilon ~delta table q =
   let exact = Query.Predicate.count (Dataset.Table.schema table) q table in

@@ -1,7 +1,7 @@
 let perturb rng ~epsilon value =
   if epsilon <= 0. then invalid_arg "Dp.Geometric: epsilon must be positive";
   value
-  + Telemetry.noise_int
+  + Telemetry.noise_int ~mechanism:"geometric" ~scale:(1. /. epsilon)
       (Prob.Sampler.two_sided_geometric rng ~alpha:(Float.exp (-.epsilon)))
 
 let count rng ~epsilon table q =

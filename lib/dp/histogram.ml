@@ -22,7 +22,8 @@ let noisy rng ~epsilon table cells =
     (fun (label, count) ->
       ( label,
         float_of_int count
-        +. Telemetry.noise (Prob.Sampler.laplace rng ~scale:(1. /. epsilon)) ))
+        +. Telemetry.noise ~mechanism:"laplace" ~scale:(1. /. epsilon)
+             (Prob.Sampler.laplace rng ~scale:(1. /. epsilon)) ))
     (exact table cells)
 
 let mechanism ~epsilon cells =

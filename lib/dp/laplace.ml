@@ -5,7 +5,8 @@ let count rng ~epsilon table q =
   check_epsilon epsilon;
   let exact = Query.Predicate.count (Dataset.Table.schema table) q table in
   float_of_int exact
-  +. Telemetry.noise (Prob.Sampler.laplace rng ~scale:(1. /. epsilon))
+  +. Telemetry.noise ~mechanism:"laplace" ~scale:(1. /. epsilon)
+       (Prob.Sampler.laplace rng ~scale:(1. /. epsilon))
 
 let clamp ~lo ~hi v = if v < lo then lo else if v > hi then hi else v
 
@@ -14,9 +15,8 @@ let sum rng ~epsilon ~lo ~hi values =
   if hi < lo then invalid_arg "Dp.Laplace.sum: empty range";
   let sensitivity = Float.max (Float.abs lo) (Float.abs hi) in
   let exact = Array.fold_left (fun acc v -> acc +. clamp ~lo ~hi v) 0. values in
-  exact
-  +. Telemetry.noise
-       (Prob.Sampler.laplace rng ~scale:(sensitivity /. Float.max epsilon 1e-12))
+  let scale = sensitivity /. Float.max epsilon 1e-12 in
+  exact +. Telemetry.noise ~mechanism:"laplace" ~scale (Prob.Sampler.laplace rng ~scale)
 
 let mean rng ~epsilon ~lo ~hi values =
   check_epsilon epsilon;
@@ -24,7 +24,8 @@ let mean rng ~epsilon ~lo ~hi values =
   let noisy_sum = sum rng ~epsilon:half ~lo ~hi values in
   let noisy_count =
     float_of_int (Array.length values)
-    +. Telemetry.noise (Prob.Sampler.laplace rng ~scale:(1. /. half))
+    +. Telemetry.noise ~mechanism:"laplace" ~scale:(1. /. half)
+         (Prob.Sampler.laplace rng ~scale:(1. /. half))
   in
   noisy_sum /. Float.max 1. noisy_count
 

@@ -5,7 +5,9 @@ let select_values rng ~epsilon values =
   Array.iteri
     (fun i v ->
       let noisy =
-        v +. Telemetry.noise (Prob.Sampler.laplace rng ~scale:(2. /. epsilon))
+        v
+        +. Telemetry.noise ~mechanism:"laplace" ~scale:(2. /. epsilon)
+             (Prob.Sampler.laplace rng ~scale:(2. /. epsilon))
       in
       if noisy > !best_v then begin
         best := i;

@@ -16,7 +16,9 @@ let create rng ~epsilon ~threshold ~max_hits =
     rng;
     epsilon;
     noisy_threshold =
-      threshold +. Telemetry.noise (Prob.Sampler.laplace rng ~scale:(2. /. epsilon));
+      threshold
+      +. Telemetry.noise ~mechanism:"laplace" ~scale:(2. /. epsilon)
+           (Prob.Sampler.laplace rng ~scale:(2. /. epsilon));
     max_hits;
     hits = 0;
     asked = 0;
@@ -25,10 +27,10 @@ let create rng ~epsilon ~threshold ~max_hits =
 let ask t value =
   if t.hits >= t.max_hits then raise Budget_exhausted;
   t.asked <- t.asked + 1;
+  let scale = 4. *. float_of_int t.max_hits /. t.epsilon in
   let noise =
-    Telemetry.noise
-      (Prob.Sampler.laplace t.rng
-         ~scale:(4. *. float_of_int t.max_hits /. t.epsilon))
+    Telemetry.noise ~mechanism:"laplace" ~scale
+      (Prob.Sampler.laplace t.rng ~scale)
   in
   let above = value +. noise >= t.noisy_threshold in
   if above then t.hits <- t.hits + 1;

@@ -6,7 +6,12 @@
    deterministic across --jobs: the per-trial RNG fan-out makes each
    trial draw the same noise no matter which domain runs it. Counter and
    histogram handles are idempotent by name, so the Laplace-counts
-   mechanism in lib/query shares the same accounting. *)
+   mechanism in lib/query shares the same accounting.
+
+   Call sites that know which mechanism they are and at what scale pass
+   [?mechanism]/[?scale], which additionally journals the draw as an
+   audit-ledger "noise" event (ambient analyst); unlabeled draws are
+   counted but not journaled. *)
 
 let draws = Obs.Counter.make "dp.noise_draws"
 
@@ -14,14 +19,27 @@ let magnitude = Obs.Histogram.make "dp.noise_magnitude"
 
 let spends = Obs.Counter.make "dp.accountant_spends"
 
-let noise x =
+(* Total ε recorded by accountants (and the noisy curator), exported in
+   obs-metrics/v1; a gauge so the cross-domain merge stays exact. *)
+let epsilon_spent = Obs.Gauge.make "dp.epsilon_spent"
+
+let ledger_noise ?mechanism ?scale n =
+  match (mechanism, scale) with
+  | Some m, Some s when n > 0 ->
+    Obs.Ledger.noise ~analyst:Obs.Ledger.ambient_analyst ~mechanism:m ~scale:s
+      ~n
+  | _ -> ()
+
+let noise ?mechanism ?scale x =
   Obs.Counter.incr draws;
   Obs.Histogram.observe magnitude (Float.abs x);
+  ledger_noise ?mechanism ?scale 1;
   x
 
-let noise_int k =
+let noise_int ?mechanism ?scale k =
   Obs.Counter.incr draws;
   Obs.Histogram.observe magnitude (Float.abs (float_of_int k));
+  ledger_noise ?mechanism ?scale 1;
   k
 
 (* Draws whose magnitude is meaningless (a Bernoulli flip, an exponential-
@@ -40,15 +58,16 @@ let bulk = Obs.Counter.make "dp.bulk_samples"
    The enabled check hoists out of the magnitude pass — per-sample [noise]
    pays a no-op call per draw, but a bulk vector shouldn't pay a second
    full pass just to record nothing. *)
-let noise_many xs =
+let noise_many ?mechanism ?scale xs =
   if Obs.enabled () then begin
     Array.iter (fun x -> Obs.Histogram.observe magnitude (Float.abs x)) xs;
     Obs.Counter.add draws (Array.length xs);
     Obs.Counter.add bulk (Array.length xs)
   end;
+  ledger_noise ?mechanism ?scale (Array.length xs);
   xs
 
-let noise_many_int ks =
+let noise_many_int ?mechanism ?scale ks =
   if Obs.enabled () then begin
     Array.iter
       (fun k -> Obs.Histogram.observe magnitude (Float.abs (float_of_int k)))
@@ -56,6 +75,7 @@ let noise_many_int ks =
     Obs.Counter.add draws (Array.length ks);
     Obs.Counter.add bulk (Array.length ks)
   end;
+  ledger_noise ?mechanism ?scale (Array.length ks);
   ks
 
 let spend () = Obs.Counter.incr spends

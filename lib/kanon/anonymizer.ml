@@ -57,7 +57,13 @@ let anonymize config table =
           (Incognito.anonymize ~scheme:config.scheme ~k:config.k table)
             .Incognito.release)
   in
-  if Obs.enabled () then Obs.Counter.add c_suppressed (count_suppressed release);
+  if Obs.enabled () || Obs.Ledger.enabled () then begin
+    let cells = count_suppressed release in
+    Obs.Counter.add c_suppressed cells;
+    Obs.Ledger.suppression ~analyst:Obs.Ledger.ambient_analyst
+      ~source:(algorithm_name config.algorithm) ~cells
+      ~rows:(Dataset.Gtable.nrows release)
+  end;
   release
 
 let is_k_anonymous ~k gtable =

@@ -33,6 +33,17 @@ let metrics_json (r : Metric.report) =
                    ("value", Json.Number (float_of_int v));
                  ])
              r.Metric.counters) );
+      ( "gauges",
+        Json.List
+          (List.map
+             (fun ((m : Metric.meta), v) ->
+               Json.Obj
+                 [
+                   ("name", Json.String m.Metric.name);
+                   ("timing", Json.Bool m.Metric.timing);
+                   ("value", Json.number v);
+                 ])
+             r.Metric.gauges) );
       ( "histograms",
         Json.List
           (List.map
@@ -54,6 +65,35 @@ let metrics_json (r : Metric.report) =
                           h.Metric.h_buckets) );
                  ])
              r.Metric.histograms) );
+      ( "sketches",
+        Json.List
+          (List.map
+             (fun (s : Metric.sketch_report) ->
+               let q p =
+                 if Sketch.is_empty s.Metric.sk then Json.Null
+                 else Json.number (Sketch.quantile s.Metric.sk p)
+               in
+               let ext f =
+                 if Sketch.is_empty s.Metric.sk then Json.Null
+                 else begin
+                   let v = f s.Metric.sk in
+                   if Float.is_nan v then Json.Null else Json.number v
+                 end
+               in
+               Json.Obj
+                 [
+                   ("name", Json.String s.Metric.sk_name);
+                   ("timing", Json.Bool s.Metric.sk_timing);
+                   ( "count",
+                     Json.Number (float_of_int (Sketch.count s.Metric.sk)) );
+                   ("min", ext Sketch.min_value);
+                   ("max", ext Sketch.max_value);
+                   ("p50", q 0.5);
+                   ("p90", q 0.9);
+                   ("p95", q 0.95);
+                   ("p99", q 0.99);
+                 ])
+             r.Metric.sketches) );
       ( "domains",
         Json.List
           (List.map
@@ -154,6 +194,32 @@ let pp_summary fmt (r : Metric.report) =
       Format.fprintf fmt "%-34s  %14d%s@." m.Metric.name v
         (if m.Metric.timing then "  (timing)" else ""))
     r.Metric.counters;
+  if r.Metric.gauges <> [] then begin
+    Format.fprintf fmt "@.%-34s  %14s@." "gauge" "value";
+    Format.fprintf fmt "%s  %s@." (String.make 34 '-') (String.make 14 '-');
+    List.iter
+      (fun ((m : Metric.meta), v) ->
+        Format.fprintf fmt "%-34s  %14.6g%s@." m.Metric.name v
+          (if m.Metric.timing then "  (timing)" else ""))
+      r.Metric.gauges
+  end;
+  if r.Metric.sketches <> [] then begin
+    Format.fprintf fmt "@.%-34s  %10s  %10s  %10s  %10s@." "sketch" "count"
+      "p50" "p95" "p99";
+    Format.fprintf fmt "%s  %s  %s  %s  %s@." (String.make 34 '-')
+      (String.make 10 '-') (String.make 10 '-') (String.make 10 '-')
+      (String.make 10 '-');
+    List.iter
+      (fun (s : Metric.sketch_report) ->
+        Format.fprintf fmt "%-34s  %10d  %10.3g  %10.3g  %10.3g%s@."
+          s.Metric.sk_name
+          (Sketch.count s.Metric.sk)
+          (Sketch.quantile s.Metric.sk 0.5)
+          (Sketch.quantile s.Metric.sk 0.95)
+          (Sketch.quantile s.Metric.sk 0.99)
+          (if s.Metric.sk_timing then "  (timing)" else ""))
+      r.Metric.sketches
+  end;
   if r.Metric.histograms <> [] then begin
     Format.fprintf fmt "@.%-34s  %10s  %10s  %10s@." "histogram" "count"
       "p50<=" "p95<=";

@@ -56,6 +56,14 @@ let hist_metas : meta list ref = ref []
 
 let n_hists = ref 0
 
+let gauge_metas : meta list ref = ref []
+
+let n_gauges = ref 0
+
+let sketch_metas : meta list ref = ref []
+
+let n_sketches = ref 0
+
 (* [make] is idempotent by name so independent modules can share a metric
    (e.g. "dp.noise_draws" is bumped from both lib/dp and the Laplace
    mechanism in lib/query). *)
@@ -105,6 +113,8 @@ type collector = {
   domain : int;
   mutable counts : int array; (* indexed by counter id *)
   mutable hists : int array array; (* hist id -> bucket counts, [||] = untouched *)
+  mutable gauges : int array; (* gauge id -> nano-unit integer sum *)
+  mutable sks : Sketch.t option array; (* sketch id -> samples, None = untouched *)
   mutable events : event array;
   mutable n_events : int;
   mutable dropped : int;
@@ -125,6 +135,8 @@ let collector_key : collector Domain.DLS.key =
           domain = (Domain.self () :> int);
           counts = Array.make (max 8 !n_counters) 0;
           hists = Array.make (max 8 !n_hists) [||];
+          gauges = Array.make (max 8 !n_gauges) 0;
+          sks = Array.make (max 8 !n_sketches) None;
           events = [||];
           n_events = 0;
           dropped = 0;
@@ -145,6 +157,8 @@ let reset () =
       Array.iter
         (fun row -> if Array.length row > 0 then Array.fill row 0 buckets 0)
         c.hists;
+      Array.fill c.gauges 0 (Array.length c.gauges) 0;
+      Array.iter (Option.iter Sketch.reset) c.sks;
       c.n_events <- 0;
       c.dropped <- 0)
     !collectors;
@@ -170,6 +184,62 @@ module Counter = struct
     end
 
   let incr t = add t 1
+end
+
+(* --- gauges --- *)
+
+module Gauge = struct
+  type t = meta
+
+  let make ?(timing = false) name = register gauge_metas n_gauges ~timing name
+
+  (* Accumulated as integer nano-units so the cross-domain merge is an
+     exact integer sum: float addition order would depend on scheduling
+     and break cross-jobs byte-identity of exported values. *)
+  let units v = int_of_float (Float.round (v *. 1e9))
+
+  let add_units t u =
+    if Atomic.get on then begin
+      let c = collector () in
+      if t.id >= Array.length c.gauges then begin
+        let a = Array.make (max (t.id + 1) ((2 * Array.length c.gauges) + 8)) 0 in
+        Array.blit c.gauges 0 a 0 (Array.length c.gauges);
+        c.gauges <- a
+      end;
+      c.gauges.(t.id) <- c.gauges.(t.id) + u
+    end
+
+  let add t v = add_units t (units v)
+
+  (* [k] copies of [v] in O(1); quantizes [v] once so the total equals a
+     loop of [add t v] exactly. *)
+  let add_scaled t v k = add_units t (k * units v)
+end
+
+(* --- quantile sketches --- *)
+
+module Sketchm = struct
+  type t = meta
+
+  let make ?(timing = false) name = register sketch_metas n_sketches ~timing name
+
+  let row c (t : meta) =
+    if t.id >= Array.length c.sks then begin
+      let a = Array.make (max (t.id + 1) ((2 * Array.length c.sks) + 8)) None in
+      Array.blit c.sks 0 a 0 (Array.length c.sks);
+      c.sks <- a
+    end;
+    match c.sks.(t.id) with
+    | Some s -> s
+    | None ->
+      let s = Sketch.create () in
+      c.sks.(t.id) <- Some s;
+      s
+
+  let observe t v = if Atomic.get on then Sketch.add (row (collector ()) t) v
+
+  let observe_n t v k =
+    if Atomic.get on then Sketch.add_n (row (collector ()) t) v k
 end
 
 (* --- histograms --- *)
@@ -261,11 +331,19 @@ type domain_report = {
   ev_dropped : int;
 }
 
+type sketch_report = {
+  sk_name : string;
+  sk_timing : bool;
+  sk : Sketch.t; (* merged across domains, ascending domain order *)
+}
+
 type report = {
   epoch_ns : int64;
   jobs : int;
   counters : (meta * int) list; (* ascending name *)
+  gauges : (meta * float) list; (* ascending name *)
   histograms : hist list; (* ascending name *)
+  sketches : sketch_report list; (* ascending name *)
   domains : domain_report list;
 }
 
@@ -274,6 +352,8 @@ let snapshot ?(jobs = 1) () =
   let cs = List.sort (fun a b -> compare a.domain b.domain) !collectors in
   let cmetas = List.rev !counter_metas in
   let hmetas = List.rev !hist_metas in
+  let gmetas = List.rev !gauge_metas in
+  let smetas = List.rev !sketch_metas in
   Mutex.unlock registry_mutex;
   let counters =
     List.map
@@ -287,6 +367,32 @@ let snapshot ?(jobs = 1) () =
         (m, total))
       cmetas
     |> List.sort (fun ((a : meta), _) (b, _) -> String.compare a.name b.name)
+  in
+  let gauges =
+    List.map
+      (fun m ->
+        let units =
+          List.fold_left
+            (fun acc (c : collector) ->
+              acc + (if m.id < Array.length c.gauges then c.gauges.(m.id) else 0))
+            0 cs
+        in
+        (m, float_of_int units /. 1e9))
+      gmetas
+    |> List.sort (fun ((a : meta), _) (b, _) -> String.compare a.name b.name)
+  in
+  let sketches =
+    List.map
+      (fun m ->
+        let acc = Sketch.create () in
+        List.iter
+          (fun (c : collector) ->
+            if m.id < Array.length c.sks then
+              Option.iter (fun s -> Sketch.merge_into ~into:acc s) c.sks.(m.id))
+          cs;
+        { sk_name = m.name; sk_timing = m.timing; sk = acc })
+      smetas
+    |> List.sort (fun a b -> String.compare a.sk_name b.sk_name)
   in
   let histograms =
     List.map
@@ -330,4 +436,4 @@ let snapshot ?(jobs = 1) () =
         })
       cs
   in
-  { epoch_ns = !epoch; jobs; counters; histograms; domains }
+  { epoch_ns = !epoch; jobs; counters; gauges; histograms; sketches; domains }

@@ -23,11 +23,17 @@
 
 module Metric = Metric
 module Counter = Metric.Counter
+module Gauge = Metric.Gauge
 module Histogram = Metric.Histogram
+module Sketch = Sketch
+module Sketchm = Metric.Sketchm
+module Ledger = Ledger
 module Progress = Progress
 module Export = Export
 
 let enabled = Metric.enabled
+
+let now_ns = Clock.now_ns
 
 let enable = Metric.enable
 

@@ -18,7 +18,15 @@ let map pool rng ~trials f =
     "trials.map"
     (fun () ->
       let rngs = split_rngs rng trials in
-      Pool.parallel_init_array pool trials (fun i -> f rngs.(i) i))
+      (* Each trial runs under ledger coordinates (region, i): the region
+         id is allocated by the (sequential) caller, so ledger events are
+         ordered identically at every --jobs. *)
+      let region = Obs.Ledger.enter_region () in
+      Fun.protect
+        ~finally:(fun () -> Obs.Ledger.exit_region region)
+        (fun () ->
+          Pool.parallel_init_array pool trials (fun i ->
+              Obs.Ledger.with_task ~region ~task:i (fun () -> f rngs.(i) i))))
 
 let fold pool rng ~trials ~init ~combine f =
   Array.fold_left combine init (map pool rng ~trials f)

@@ -53,7 +53,14 @@ let read_bucket ~salt ~buckets ~ell answers offset bucket =
     Some (Predicate.conj (base :: bits))
   end
 
-let fallback ~salt ~buckets = bucket_pred ~salt ~buckets 0
+(* The attacker's give-up path (noisy or malformed answers): counted so
+   metrics show how often the composition attack degraded to a blind
+   bucket guess. *)
+let c_fallbacks = Obs.Counter.make "pso.composition_fallbacks"
+
+let fallback ~salt ~buckets =
+  Obs.Counter.incr c_fallbacks;
+  bucket_pred ~salt ~buckets 0
 
 let single_bucket ~salt ~buckets ~ell =
   check ~buckets ~ell;

@@ -19,9 +19,21 @@ type t = {
   bits : int array;  (* the target attribute as 0/1 *)
   rng : Prob.Rng.t;
   state : state;
+  analyst : string;  (* audit-ledger session id *)
   mutable answered : int;
   mutable refused : int;
 }
+
+let c_answered = Obs.Counter.make "curator.answered"
+
+let c_refused = Obs.Counter.make "curator.refusals"
+
+(* Deterministic cost sketch shared (by name) with the mechanism layer. *)
+let sk_cost = Obs.Sketchm.make "query.cost_rows"
+
+(* Shared by name with Dp.Telemetry: the noisy curator's ε joins the
+   accountants' in the exported dp.epsilon_spent gauge. *)
+let g_eps = Obs.Gauge.make "dp.epsilon_spent"
 
 let target_bits table target =
   let j = Dataset.Schema.index_of (Table.schema table) target in
@@ -36,7 +48,7 @@ let target_bits table target =
              target (Value.to_string v)))
     (Table.rows table)
 
-let create ?rng ~policy ~target table =
+let create ?analyst ?rng ~policy ~target table =
   let rng = match rng with Some r -> r | None -> Prob.Rng.create () in
   let bits = target_bits table target in
   let state =
@@ -52,7 +64,22 @@ let create ?rng ~policy ~target table =
       Accounting
         { per_query = per_query_epsilon; total = total_epsilon; spent = 0. }
   in
-  { table; bits; rng; state; answered = 0; refused = 0 }
+  let analyst =
+    match analyst with
+    | Some a -> a
+    | None ->
+      if Obs.Ledger.enabled () then Obs.Ledger.fresh_analyst ()
+      else Obs.Ledger.ambient_analyst
+  in
+  (if Obs.Ledger.enabled () then
+     match policy with
+     | Exact -> Obs.Ledger.session ~analyst ~policy:"exact" ()
+     | Limited _ -> Obs.Ledger.session ~analyst ~policy:"limited" ()
+     | Audited -> Obs.Ledger.session ~analyst ~policy:"audited" ()
+     | Noisy { per_query_epsilon; total_epsilon } ->
+       Obs.Ledger.session ~analyst ~policy:"noisy" ~per_query:per_query_epsilon
+         ~total:total_epsilon ());
+  { table; bits; rng; state; analyst; answered = 0; refused = 0 }
 
 let exact_sum t subset =
   Array.fold_left
@@ -62,35 +89,65 @@ let exact_sum t subset =
       acc + t.bits.(i))
     0 subset
 
-let answer t v =
+let answer t ~digest ~engine ~noised ~cost v =
+  Obs.Counter.incr c_answered;
+  Obs.Sketchm.observe sk_cost (float_of_int cost);
+  Obs.Ledger.query ~analyst:t.analyst ~kind:"curator" ~digest ~engine ~noised
+    ~cost;
   t.answered <- t.answered + 1;
   Answer v
 
-let refuse t reason =
+let refuse t ~reason ~detail msg =
+  Obs.Counter.incr c_refused;
+  Obs.Ledger.refusal ~analyst:t.analyst ~reason ~detail;
   t.refused <- t.refused + 1;
-  Refusal reason
+  Refusal msg
 
-let ask_subset t subset =
+let ask_subset_as t ~digest ~engine subset =
+  let cost = Array.length subset in
   match t.state with
-  | Plain { budget = None } -> answer t (float_of_int (exact_sum t subset))
+  | Plain { budget = None } ->
+    answer t ~digest ~engine ~noised:false ~cost
+      (float_of_int (exact_sum t subset))
   | Plain { budget = Some k } ->
-    if t.answered >= k then refuse t "query limit reached"
-    else answer t (float_of_int (exact_sum t subset))
+    if t.answered >= k then
+      refuse t ~reason:"limit"
+        ~detail:
+          [ ("answered", float_of_int t.answered); ("limit", float_of_int k) ]
+        "query limit reached"
+    else
+      answer t ~digest ~engine ~noised:false ~cost
+        (float_of_int (exact_sum t subset))
   | Auditing auditor -> (
     match Auditor.ask auditor subset with
-    | Auditor.Answered v -> answer t v
-    | Auditor.Refused -> refuse t "answering would disclose an individual's bit")
+    | Auditor.Answered v -> answer t ~digest ~engine ~noised:false ~cost v
+    | Auditor.Refused ->
+      refuse t ~reason:"audit" ~detail:[]
+        "answering would disclose an individual's bit")
   | Accounting a ->
     if a.spent +. a.per_query > a.total +. 1e-12 then
-      refuse t "privacy budget exhausted"
+      refuse t ~reason:"budget"
+        ~detail:
+          [
+            ("spent", a.spent);
+            ("per_query", a.per_query);
+            ("total", a.total);
+          ]
+        "privacy budget exhausted"
     else begin
       a.spent <- a.spent +. a.per_query;
+      Obs.Gauge.add g_eps a.per_query;
+      Obs.Ledger.spend ~analyst:t.analyst ~label:"curator-query"
+        ~epsilon:a.per_query ~cumulative:a.spent ();
+      let scale = 1. /. a.per_query in
+      Obs.Ledger.noise ~analyst:t.analyst ~mechanism:"laplace" ~scale ~n:1;
       let noisy =
-        float_of_int (exact_sum t subset)
-        +. Prob.Sampler.laplace t.rng ~scale:(1. /. a.per_query)
+        float_of_int (exact_sum t subset) +. Prob.Sampler.laplace t.rng ~scale
       in
-      answer t noisy
+      answer t ~digest ~engine ~noised:true ~cost noisy
     end
+
+let ask_subset t subset = ask_subset_as t ~digest:"-" ~engine:"subset" subset
 
 let matching_interpreted t schema p =
   let subset = ref [] in
@@ -117,7 +174,10 @@ let ask t p =
              (Predicate.to_string p));
       a
   in
-  ask_subset t subset
+  let digest = if Obs.Ledger.enabled () then Predicate.digest p else "-" in
+  ask_subset_as t ~digest
+    ~engine:(Predicate.engine_name (Predicate.engine ()))
+    subset
 
 (* Subpopulation extraction for a whole question list at once. Replies
    still go through [ask_subset] one by one in index order, so the
@@ -146,11 +206,16 @@ let matching_many t schema ps =
 
 let ask_many t ps =
   let subsets = matching_many t (Table.schema t.table) ps in
+  let engine = Predicate.engine_name (Predicate.engine ()) in
+  let ledger_on = Obs.Ledger.enabled () in
   let out = Array.make (Array.length ps) (Refusal "unasked") in
   for i = 0 to Array.length ps - 1 do
-    out.(i) <- ask_subset t subsets.(i)
+    let digest = if ledger_on then Predicate.digest ps.(i) else "-" in
+    out.(i) <- ask_subset_as t ~digest ~engine subsets.(i)
   done;
   out
+
+let analyst t = t.analyst
 
 let answered t = t.answered
 

@@ -31,11 +31,25 @@ type reply =
   | Refusal of string  (** human-readable reason *)
 
 val create :
-  ?rng:Prob.Rng.t -> policy:policy -> target:string -> Dataset.Table.t -> t
+  ?analyst:string ->
+  ?rng:Prob.Rng.t ->
+  policy:policy ->
+  target:string ->
+  Dataset.Table.t ->
+  t
 (** [target] must name an attribute whose values are all [Int 0]/[Int 1]
     or booleans; raises [Invalid_argument] otherwise, or on nonpositive
     [Noisy] budgets or [Limited] counts. The default [rng] is freshly
-    seeded (deterministic). *)
+    seeded (deterministic).
+
+    [analyst] is the audit-ledger session id under which this curator's
+    queries, refusals and budget spends are journaled; it defaults to a
+    deterministic fresh id ({!Obs.Ledger.fresh_analyst}) when the ledger
+    is enabled. When the ledger is on, creation opens the analyst's
+    session — analyst ids must therefore be unique per run. *)
+
+val analyst : t -> string
+(** The audit-ledger session id this curator journals under. *)
 
 val ask : t -> Predicate.t -> reply
 (** Count of target-positive records in the subpopulation satisfying the

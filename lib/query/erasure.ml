@@ -12,6 +12,11 @@ let create implementation table =
 let erase t i =
   if i < 0 || i >= Dataset.Table.nrows t.snapshot then
     invalid_arg "Erasure.erase: index out of range";
+  if not (Hashtbl.mem t.erased i) then
+    Obs.Ledger.suppression ~analyst:Obs.Ledger.ambient_analyst
+      ~source:"erasure"
+      ~cells:(Dataset.Schema.arity (Dataset.Table.schema t.snapshot))
+      ~rows:1;
   Hashtbl.replace t.erased i ()
 
 let live_records t = Dataset.Table.nrows t.snapshot - Hashtbl.length t.erased

@@ -10,12 +10,42 @@ type t = { name : string; run : Prob.Rng.t -> Dataset.Table.t -> output }
 
 let run t rng table = t.run rng table
 
+(* Deterministic cost sketch (rows touched — the ledger's latency proxy,
+   shared by name with Curator/Oracle) and a wall-clock latency sketch,
+   which is timing-flagged and so excluded from cross-jobs checks. *)
+let sk_cost = Obs.Sketchm.make "query.cost_rows"
+
+let sk_latency = Obs.Sketchm.make ~timing:true "query.latency_ns"
+
+(* Journal one mechanism run. The digest is precomputed at mechanism
+   construction (lazily — construction happens once, runs happen per
+   trial) so the per-run cost when the ledger is off stays one flag
+   read. *)
+let log_run ~digest ~noised ~cost f =
+  if not (Obs.enabled () || Obs.Ledger.enabled ()) then f ()
+  else begin
+    let t0 = Obs.now_ns () in
+    let out = f () in
+    Obs.Sketchm.observe sk_latency (Int64.to_float (Int64.sub (Obs.now_ns ()) t0));
+    Obs.Sketchm.observe sk_cost (float_of_int cost);
+    Obs.Ledger.query ~analyst:Obs.Ledger.ambient_analyst ~kind:"mechanism"
+      ~digest:(Lazy.force digest)
+      ~engine:(Predicate.engine_name (Predicate.engine ()))
+      ~noised ~cost;
+    out
+  end
+
 let exact_count q =
+  let digest = lazy (Predicate.digest q) in
   {
     name = Printf.sprintf "count[%s]" (Predicate.to_string q);
     run =
       (fun _rng table ->
-        Scalar (float_of_int (Predicate.count (Dataset.Table.schema table) q table)));
+        log_run ~digest ~noised:false ~cost:(Dataset.Table.nrows table)
+          (fun () ->
+            Scalar
+              (float_of_int
+                 (Predicate.count (Dataset.Table.schema table) q table))));
   }
 
 (* A query batch carries its compilation: the PSO game runs the same
@@ -43,39 +73,53 @@ let batch_compiled b schema =
     Atomic.set b.cache (Some (schema, cs));
     cs
 
-let exact_counts_batch ?pool b =
+(* The shared, non-journaling counts kernel: both the exact and the
+   Laplace batch mechanisms call this and then emit their *own* single
+   query event, so a noised release is never double-logged as an exact
+   one. *)
+let batch_counts ?pool b table =
   let qs = b.queries in
+  let schema = Dataset.Table.schema table in
+  match Predicate.engine () with
+  | Predicate.Interpreted ->
+    (* Rows outer, queries inner: hash-atom digests are cached per
+       row, so query batches over the same record pay for one
+       digest. *)
+    let counts = Array.make (Array.length qs) 0. in
+    Array.iter
+      (fun row ->
+        Array.iteri
+          (fun i q ->
+            if Predicate.eval schema q row then counts.(i) <- counts.(i) +. 1.)
+          qs)
+      (Dataset.Table.rows table);
+    counts
+  | Predicate.Compiled | Predicate.Checked ->
+    (* One batched evaluation: shared columnar scan, batch-wide
+       atom dedup, compilation reused across runs. Under Checked,
+       Engine.counts re-derives every answer with the
+       per-predicate compiled path and the interpreter. *)
+    Array.map float_of_int
+      (Engine.counts ?pool ~compiled:(batch_compiled b schema) table qs)
+
+(* One digest for the whole batch: the hash of all member renderings. *)
+let batch_digest b =
+  lazy
+    (Printf.sprintf "%016Lx"
+       (Prob.Hashing.hash64 ~salt:0L
+          (String.concat "|"
+             (Array.to_list (Array.map Predicate.to_string b.queries)))))
+
+let batch_cost b table = Dataset.Table.nrows table * Array.length b.queries
+
+let exact_counts_batch ?pool b =
+  let digest = batch_digest b in
   {
-    name = Printf.sprintf "counts[%d queries]" (Array.length qs);
+    name = Printf.sprintf "counts[%d queries]" (Array.length b.queries);
     run =
       (fun _rng table ->
-        let schema = Dataset.Table.schema table in
-        let counts =
-          match Predicate.engine () with
-          | Predicate.Interpreted ->
-            (* Rows outer, queries inner: hash-atom digests are cached per
-               row, so query batches over the same record pay for one
-               digest. *)
-            let counts = Array.make (Array.length qs) 0. in
-            Array.iter
-              (fun row ->
-                Array.iteri
-                  (fun i q ->
-                    if Predicate.eval schema q row then
-                      counts.(i) <- counts.(i) +. 1.)
-                  qs)
-              (Dataset.Table.rows table);
-            counts
-          | Predicate.Compiled | Predicate.Checked ->
-            (* One batched evaluation: shared columnar scan, batch-wide
-               atom dedup, compilation reused across runs. Under Checked,
-               Engine.counts re-derives every answer with the
-               per-predicate compiled path and the interpreter. *)
-            Array.map float_of_int
-              (Engine.counts ?pool ~compiled:(batch_compiled b schema) table
-                 qs)
-        in
-        Vector counts);
+        log_run ~digest ~noised:false ~cost:(batch_cost b table) (fun () ->
+            Vector (batch_counts ?pool b table)));
   }
 
 let exact_counts qs = exact_counts_batch (batch qs)
@@ -90,27 +134,29 @@ let laplace_counts_batch ?pool ~epsilon b =
   if epsilon <= 0. then invalid_arg "Mechanism.laplace_counts: epsilon";
   let nq = Array.length b.queries in
   let scale = float_of_int (max 1 nq) /. epsilon in
-  let exact = exact_counts_batch ?pool b in
+  let digest = batch_digest b in
   {
     name = Printf.sprintf "laplace-counts[%d queries, eps=%g]" nq epsilon;
     run =
       (fun rng table ->
-        match exact.run rng table with
-        | Vector counts ->
-          (* One bulk pass in explicit ascending index order: the exact
-             draw sequence of the old per-count Array.map, so released
-             vectors are byte-identical — at every --jobs, since counts
-             never touch the rng. *)
-          let n = Array.length counts in
-          let out = Array.make n 0. in
-          for i = 0 to n - 1 do
-            let noise = Prob.Sampler.laplace rng ~scale in
-            Obs.Histogram.observe h_noise_magnitude (Float.abs noise);
-            out.(i) <- counts.(i) +. noise
-          done;
-          Obs.Counter.add c_noise_draws n;
-          Vector out
-        | other -> other);
+        log_run ~digest ~noised:true ~cost:(batch_cost b table) (fun () ->
+            let counts = batch_counts ?pool b table in
+            (* One bulk pass in explicit ascending index order: the exact
+               draw sequence of the old per-count Array.map, so released
+               vectors are byte-identical — at every --jobs, since counts
+               never touch the rng. *)
+            let n = Array.length counts in
+            let out = Array.make n 0. in
+            for i = 0 to n - 1 do
+              let noise = Prob.Sampler.laplace rng ~scale in
+              Obs.Histogram.observe h_noise_magnitude (Float.abs noise);
+              out.(i) <- counts.(i) +. noise
+            done;
+            Obs.Counter.add c_noise_draws n;
+            if n > 0 then
+              Obs.Ledger.noise ~analyst:Obs.Ledger.ambient_analyst
+                ~mechanism:"laplace" ~scale ~n;
+            Vector out));
   }
 
 let laplace_counts ~epsilon qs = laplace_counts_batch ~epsilon (batch qs)

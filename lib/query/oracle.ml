@@ -3,6 +3,7 @@ exception Query_limit_exceeded
 type t = {
   data : int array;
   noise : int array -> float -> float;  (* query, true answer -> answer *)
+  noised : bool;  (* exact-vs-noised flag for audit-ledger events *)
   mutable asked : int;
   mutable limit : int option;
 }
@@ -23,6 +24,9 @@ let true_answer t q = float_of_int (subset_sum t.data q)
 
 let c_queries = Obs.Counter.make "query.oracle_queries"
 
+(* Shared by name with Curator and Mechanism. *)
+let sk_cost = Obs.Sketchm.make "query.cost_rows"
+
 let ask t q =
   (match t.limit with
   | Some l when t.asked >= l -> raise Query_limit_exceeded
@@ -30,6 +34,9 @@ let ask t q =
   let exact = true_answer t q in
   t.asked <- t.asked + 1;
   Obs.Counter.incr c_queries;
+  Obs.Sketchm.observe sk_cost (float_of_int (Array.length q));
+  Obs.Ledger.query ~analyst:Obs.Ledger.ambient_analyst ~kind:"oracle"
+    ~digest:"-" ~engine:"subset" ~noised:t.noised ~cost:(Array.length q);
   t.noise q exact
 
 (* Explicit ascending loop (not Array.map, whose evaluation order the
@@ -50,7 +57,7 @@ let check_binary data =
 
 let exact data =
   check_binary data;
-  { data; noise = (fun _ a -> a); asked = 0; limit = None }
+  { data; noise = (fun _ a -> a); noised = false; asked = 0; limit = None }
 
 let bounded_noise rng ~magnitude data =
   if magnitude < 0. then invalid_arg "Oracle.bounded_noise";
@@ -58,6 +65,7 @@ let bounded_noise rng ~magnitude data =
   {
     data;
     noise = (fun _ a -> a +. ((Prob.Rng.uniform rng *. 2. -. 1.) *. magnitude));
+    noised = true;
     asked = 0;
     limit = None;
   }
@@ -67,6 +75,7 @@ let laplace rng ~scale data =
   {
     data;
     noise = (fun _ a -> a +. Prob.Sampler.laplace rng ~scale);
+    noised = true;
     asked = 0;
     limit = None;
   }

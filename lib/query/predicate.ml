@@ -149,6 +149,10 @@ let rec to_string = function
   | And (p, q) -> Printf.sprintf "(%s && %s)" (to_string p) (to_string q)
   | Or (p, q) -> Printf.sprintf "(%s || %s)" (to_string p) (to_string q)
 
+(* A short stable identifier for audit-ledger query events: the salted
+   64-bit hash of the canonical rendering, in hex. *)
+let digest p = Printf.sprintf "%016Lx" (Prob.Hashing.hash64 ~salt:0L (to_string p))
+
 (* --- Compiled predicates --- *)
 
 (* Compilation resolves each atom's attribute to its schema index once

@@ -169,3 +169,7 @@ val weight : ?rng:Prob.Rng.t -> ?trials:int -> Dataset.Model.t -> t -> weight
     samples (default 20_000) using [rng] (default a fixed seed). *)
 
 val to_string : t -> string
+
+val digest : t -> string
+(** A stable 16-hex-digit identifier (salted 64-bit hash of
+    {!to_string}) used to reference predicates in audit-ledger events. *)

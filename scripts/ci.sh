@@ -24,6 +24,13 @@
 #      any shared kernel more than 20% slower across three fresh
 #      measurements fails the gate (skipped with a notice when no snapshot
 #      is committed yet)
+#   9. audit-ledger smoke: a quick E2 run with --ledger must produce a
+#      ledger/v1 file that passes pso_audit ledger-verify and validate-json,
+#      renders a ledger-report, and is byte-identical at --jobs 1 and 2
+#  10. ledger overhead gate: within the same bench snapshot, the
+#      ledger-on-count-batched kernel must stay within 10% of
+#      ledger-off-count-batched (pso_audit bench-pair, with the same
+#      re-measure-on-noise retry as the bench regression gate)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -117,4 +124,43 @@ else
   echo "ci: no BENCH_*.json snapshot committed; skipping bench regression gate"
 fi
 
-echo "ci: ok (build + tests + jobs-determinism + golden tables + negative auditor + obs smoke + engine check + bench kernels)"
+# Audit-ledger smoke: journal a quick experiment, re-check the accountant
+# arithmetic by replay, validate the JSONL shape, render the per-analyst
+# report, and require the file to be byte-identical across --jobs (the
+# ledger's logical-clock determinism, end to end).
+ledger1=$(mktemp) ledger2=$(mktemp)
+trap 'rm -f "$tmp1" "$tmp2" "$trace" "$metrics" "$ledger1" "$ledger2"' EXIT
+dune exec bin/pso_audit.exe -- experiment E2 --seed 20210621 --jobs 1 \
+  --ledger "$ledger1" > /dev/null 2> /dev/null
+dune exec bin/pso_audit.exe -- experiment E2 --seed 20210621 --jobs 2 \
+  --ledger "$ledger2" > /dev/null 2> /dev/null
+if ! cmp -s "$ledger1" "$ledger2"; then
+  echo "ci: ledger determinism violation: files differ between --jobs 1 and --jobs 2" >&2
+  exit 1
+fi
+dune exec bin/pso_audit.exe -- ledger-verify "$ledger1"
+dune exec bin/pso_audit.exe -- validate-json "$ledger1"
+dune exec bin/pso_audit.exe -- ledger-report "$ledger1" > /dev/null
+
+# Ledger overhead gate: the journaled batched-counts kernel must stay
+# within 10% of the unjournaled one, measured inside one snapshot so the
+# comparison is machine-relative. Same retry discipline as bench-compare.
+pair_ok=0
+for attempt in 1 2 3; do
+  if dune exec bin/pso_audit.exe -- bench-pair "$tmp2" \
+       experiments/ledger-off-count-batched experiments/ledger-on-count-batched \
+       --tolerance 10; then
+    pair_ok=1
+    break
+  fi
+  if [ "$attempt" -lt 3 ]; then
+    echo "ci: ledger overhead attempt $attempt beyond tolerance; re-measuring" >&2
+    dune exec bench/main.exe -- --no-tables --only predicates --json "$tmp2" > /dev/null
+  fi
+done
+if [ "$pair_ok" -ne 1 ]; then
+  echo "ci: ledger overhead above 10% across 3 measurements" >&2
+  exit 1
+fi
+
+echo "ci: ok (build + tests + jobs-determinism + golden tables + negative auditor + obs smoke + engine check + bench kernels + audit ledger)"

@@ -30,8 +30,12 @@ let c_sum = Obs.Counter.make "test.obs.sum"
 
 let h_values = Obs.Histogram.make "test.obs.values"
 
-(* A seeded Monte Carlo workload touching counters, histograms and the
-   instrumented pool/dp paths; returns the snapshot. *)
+let sk_index = Obs.Sketchm.make "test.obs.index"
+
+(* A seeded Monte Carlo workload touching counters, histograms, gauges,
+   sketches and the instrumented pool/dp paths; returns the snapshot.
+   Per-trial accountants route dyadic ε through dp.epsilon_spent, so the
+   gauge total (2.0 exactly) is itself a jobs-invariance probe. *)
 let workload jobs =
   with_obs (fun () ->
       with_pool jobs (fun pool ->
@@ -42,6 +46,10 @@ let workload jobs =
                 Obs.Counter.add c_sum i;
                 let v = Prob.Rng.uniform trial_rng *. 100. in
                 Obs.Histogram.observe h_values v;
+                Obs.Sketchm.observe sk_index (float_of_int (1 + i));
+                let a = Dp.Accountant.create () in
+                Dp.Accountant.spend a ~epsilon:0.015625 "unit";
+                Dp.Accountant.spend_many a ~epsilon:0.0078125 ~n:2 "unit-many";
                 Dp.Laplace.sum trial_rng ~epsilon:1. ~lo:0. ~hi:1. [| v |])
           in
           ignore (results : float array);
@@ -60,6 +68,33 @@ let deterministic_hists (r : Obs.report) =
       else Some (h.Obs.Metric.h_name, h.Obs.Metric.h_buckets))
     r.Obs.Metric.histograms
 
+let deterministic_gauges (r : Obs.report) =
+  List.filter_map
+    (fun ((m : Obs.Metric.meta), v) ->
+      if m.Obs.Metric.timing then None else Some (m.Obs.Metric.name, v))
+    r.Obs.Metric.gauges
+
+(* A sketch reduced to its deterministic fingerprint: count, exact
+   extrema and the exported quantiles. *)
+let deterministic_sketches (r : Obs.report) =
+  List.filter_map
+    (fun (s : Obs.Metric.sketch_report) ->
+      (* Empty sketches read nan extrema, which no float equality
+         accepts; count 0 is their whole fingerprint. *)
+      if s.Obs.Metric.sk_timing || Obs.Sketch.is_empty s.Obs.Metric.sk then None
+      else
+        Some
+          ( s.Obs.Metric.sk_name,
+            [
+              float_of_int (Obs.Sketch.count s.Obs.Metric.sk);
+              Obs.Sketch.min_value s.Obs.Metric.sk;
+              Obs.Sketch.max_value s.Obs.Metric.sk;
+              Obs.Sketch.quantile s.Obs.Metric.sk 0.5;
+              Obs.Sketch.quantile s.Obs.Metric.sk 0.95;
+              Obs.Sketch.quantile s.Obs.Metric.sk 0.99;
+            ] ))
+    r.Obs.Metric.sketches
+
 let test_counters_jobs_independent () =
   let base = workload 1 in
   let base_counters = deterministic_counters base in
@@ -76,6 +111,17 @@ let test_counters_jobs_independent () =
     (match List.assoc_opt "dp.noise_draws" base_counters with
     | Some v -> v >= 64
     | None -> false);
+  let base_gauges = deterministic_gauges base in
+  let base_sketches = deterministic_sketches base in
+  Alcotest.(check (option (float 0.)))
+    "per-trial dyadic spends total exactly" (Some 2.0)
+    (List.assoc_opt "dp.epsilon_spent" base_gauges);
+  (match List.assoc_opt "test.obs.index" base_sketches with
+  | Some (count :: mn :: mx :: _) ->
+    Alcotest.(check (float 0.)) "sketch counted every trial" 64. count;
+    Alcotest.(check (float 0.)) "sketch min exact" 1. mn;
+    Alcotest.(check (float 0.)) "sketch max exact" 64. mx
+  | _ -> Alcotest.fail "test.obs.index sketch missing");
   List.iter
     (fun jobs ->
       let r = workload jobs in
@@ -84,8 +130,78 @@ let test_counters_jobs_independent () =
         base_counters (deterministic_counters r);
       Alcotest.(check (list (pair string (list (pair int int)))))
         (Printf.sprintf "histogram buckets at jobs=%d match jobs=1" jobs)
-        base_hists (deterministic_hists r))
+        base_hists (deterministic_hists r);
+      Alcotest.(check (list (pair string (float 0.))))
+        (Printf.sprintf "gauges at jobs=%d match jobs=1" jobs)
+        base_gauges (deterministic_gauges r);
+      Alcotest.(check (list (pair string (list (float 0.)))))
+        (Printf.sprintf "sketch quantiles at jobs=%d match jobs=1" jobs)
+        base_sketches (deterministic_sketches r))
     [ 2; 4 ]
+
+(* --- quantile sketch --- *)
+
+let test_sketch_basics () =
+  let s = Obs.Sketch.create () in
+  Alcotest.(check bool) "fresh sketch empty" true (Obs.Sketch.is_empty s);
+  Alcotest.(check bool) "empty quantile is nan" true
+    (Float.is_nan (Obs.Sketch.quantile s 0.5));
+  for i = 1 to 100 do
+    Obs.Sketch.add s (float_of_int i)
+  done;
+  Alcotest.(check int) "count" 100 (Obs.Sketch.count s);
+  Alcotest.(check (float 0.)) "min exact" 1. (Obs.Sketch.min_value s);
+  Alcotest.(check (float 0.)) "max exact" 100. (Obs.Sketch.max_value s);
+  let q p = Obs.Sketch.quantile s p in
+  Alcotest.(check bool) "p50 within sketch error of 50" true
+    (Float.abs (q 0.5 -. 50.) <= 0.05 *. 50.);
+  Alcotest.(check bool) "p99 within sketch error of 99" true
+    (Float.abs (q 0.99 -. 99.) <= 0.05 *. 99.);
+  Alcotest.(check bool) "quantiles monotone and clamped" true
+    (q 0. >= 1. && q 0.5 <= q 0.95 && q 0.95 <= q 0.99 && q 0.99 <= 100.);
+  let c = Obs.Sketch.copy s in
+  Obs.Sketch.reset s;
+  Alcotest.(check bool) "reset empties" true (Obs.Sketch.is_empty s);
+  Alcotest.(check int) "copy unaffected by reset" 100 (Obs.Sketch.count c);
+  let u = Obs.Sketch.create () in
+  Obs.Sketch.add u 0.;
+  Obs.Sketch.add u (-3.);
+  Obs.Sketch.add u Float.nan;
+  Alcotest.(check int) "underflow samples counted" 3 (Obs.Sketch.count u);
+  Alcotest.(check (float 0.)) "all-underflow quantile reads 0" 0.
+    (Obs.Sketch.quantile u 0.5);
+  Alcotest.check_raises "negative add_n rejected"
+    (Invalid_argument "Obs.Sketch.add_n: negative count") (fun () ->
+      Obs.Sketch.add_n u 1. (-1))
+
+(* Merging in any grouping yields identical quantiles — the property the
+   cross-domain snapshot merge relies on. *)
+let test_sketch_merge_grouping () =
+  let values = Array.init 300 (fun i -> Float.of_int (1 + ((i * 7919) mod 997))) in
+  let part lo hi =
+    let s = Obs.Sketch.create () in
+    for i = lo to hi - 1 do
+      Obs.Sketch.add s values.(i)
+    done;
+    s
+  in
+  let a = part 0 100 and b = part 100 200 and c = part 200 300 in
+  let left = Obs.Sketch.copy a in
+  Obs.Sketch.merge_into ~into:left b;
+  Obs.Sketch.merge_into ~into:left c;
+  let right = Obs.Sketch.copy c in
+  Obs.Sketch.merge_into ~into:right a;
+  Obs.Sketch.merge_into ~into:right b;
+  Alcotest.(check int) "merged counts agree" (Obs.Sketch.count left)
+    (Obs.Sketch.count right);
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 0.))
+        (Printf.sprintf "p%g identical across merge orders" (p *. 100.))
+        (Obs.Sketch.quantile left p)
+        (Obs.Sketch.quantile right p))
+    [ 0.; 0.25; 0.5; 0.9; 0.95; 0.99; 1. ];
+  Alcotest.(check int) "source sketches unchanged" 100 (Obs.Sketch.count b)
 
 (* --- span nesting --- *)
 
@@ -152,6 +268,33 @@ let test_metrics_json_roundtrip () =
   | Some (Core.Json.String s) ->
     Alcotest.(check string) "schema field" "obs-metrics/v1" s
   | _ -> Alcotest.fail "schema field missing");
+  let named_rows section =
+    match Core.Json.member section doc with
+    | Some (Core.Json.List rows) ->
+      List.filter_map
+        (fun row ->
+          match Core.Json.member "name" row with
+          | Some (Core.Json.String n) -> Some (n, row)
+          | _ -> None)
+        rows
+    | _ -> Alcotest.failf "%s section missing" section
+  in
+  (match List.assoc_opt "dp.epsilon_spent" (named_rows "gauges") with
+  | Some row ->
+    (match Core.Json.member "value" row with
+    | Some (Core.Json.Number v) ->
+      Alcotest.(check (float 0.)) "exported epsilon total" 2.0 v
+    | _ -> Alcotest.fail "gauge value not a number")
+  | None -> Alcotest.fail "dp.epsilon_spent not exported");
+  (match List.assoc_opt "test.obs.index" (named_rows "sketches") with
+  | Some row ->
+    List.iter
+      (fun field ->
+        match Core.Json.member field row with
+        | Some (Core.Json.Number _) -> ()
+        | _ -> Alcotest.failf "sketch row lacks numeric %s" field)
+      [ "count"; "min"; "max"; "p50"; "p90"; "p95"; "p99" ]
+  | None -> Alcotest.fail "test.obs.index sketch not exported");
   roundtrip "chrome trace" (Obs.Export.chrome_trace report)
 
 (* --- Chrome trace shape --- *)
@@ -281,6 +424,11 @@ let () =
           Alcotest.test_case "counters independent of jobs" `Slow
             test_counters_jobs_independent;
           Alcotest.test_case "tables unperturbed" `Slow test_tables_unperturbed;
+        ] );
+      ( "sketch",
+        [
+          Alcotest.test_case "basics" `Quick test_sketch_basics;
+          Alcotest.test_case "merge grouping" `Quick test_sketch_merge_grouping;
         ] );
       ( "spans",
         [
