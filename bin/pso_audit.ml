@@ -7,6 +7,7 @@
      theorems     run the executable theorem battery (1.3, 2.5-2.10)
      report       print the full legal-technical report
      dpcheck      empirically audit the eps-DP mechanisms (Definition 1.2)
+     certify      mechanically verify the eps-DP coupling certificates
      experiment   run one of E1..E13 (or `all`)
      run          alias for experiment with explicit --quick/--full scale
      validate-json  parse JSON files written by --trace / --metrics-json
@@ -558,6 +559,111 @@ let dpcheck_cmd =
       const run $ seed_arg $ jobs_arg $ engine_arg $ trials_arg
       $ confidence_arg $ battery_arg $ mechanism_arg $ obs_term)
 
+(* --- certify --- *)
+
+let certify_cmd =
+  let run mechanism tamper legal seed =
+    (* No --jobs / --engine here: certificate checking is an exhaustive
+       deterministic enumeration — nothing is sampled, nothing fans out. *)
+    if tamper then begin
+      let results = Cert.Registry.tamper_suite () in
+      List.iter
+        (fun (r : Cert.Registry.tamper_result) ->
+          Format.printf "%-28s %-20s %s@." r.entry_name r.tamper
+            (if r.rejected then "REJECTED" else "ACCEPTED"))
+        results;
+      let accepted =
+        List.filter (fun (r : Cert.Registry.tamper_result) -> not r.rejected) results
+      in
+      Format.printf "tamper: %d/%d tampered certificates rejected@."
+        (List.length results - List.length accepted)
+        (List.length results);
+      exit_with (if accepted = [] && results <> [] then 0 else 1)
+    end
+    else begin
+      let rows =
+        match mechanism with
+        | None -> Cert.Registry.verify_all ()
+        | Some name -> (
+          match Cert.Catalog.find name with
+          | Some entry ->
+            [ { Cert.Registry.entry; verdict = Cert.Registry.verify entry } ]
+          | None ->
+            Format.eprintf "pso_audit: unknown certificate %S (valid: %s)@."
+              name
+              (String.concat ", "
+                 (List.map
+                    (fun (e : Cert.Catalog.entry) -> e.Cert.Catalog.name)
+                    (Cert.Catalog.all ())));
+            exit 2)
+      in
+      print_string (Cert.Registry.render_table rows);
+      if legal then begin
+        let rng = rng_of_seed seed in
+        let verdict = Pso.Theorems.dp_prevents_pso rng in
+        let certificates =
+          List.filter_map
+            (fun (r : Cert.Registry.row) ->
+              if r.entry.Cert.Catalog.negative then None
+              else
+                Some
+                  {
+                    Legal.Theorem.mechanism = r.entry.Cert.Catalog.name;
+                    claim =
+                      Printf.sprintf "e^eps = %s (%s)"
+                        (Cert.Q.to_string r.entry.Cert.Catalog.model.Cert.Model.bound)
+                        r.entry.Cert.Catalog.spec.Dp.Finite.epsilon_label;
+                    witness =
+                      (match r.entry.Cert.Catalog.witness with
+                      | Cert.Catalog.Handwritten _ -> "handwritten alignment"
+                      | Cert.Catalog.Derived -> "search-derived alignment");
+                    certified =
+                      (match r.verdict with
+                      | Cert.Registry.Certified _ -> true
+                      | _ -> false);
+                  })
+            rows
+        in
+        Format.printf "%a@." Legal.Theorem.pp
+          (Legal.Theorem.dp_necessary_condition ~certificates verdict)
+      end;
+      exit_with (if Cert.Registry.all_ok rows then 0 else 1)
+    end
+  in
+  let mechanism_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "mechanism" ] ~docv:"M"
+          ~doc:"Verify a single registered certificate, e.g. laplace.")
+  in
+  let tamper_arg =
+    Arg.(
+      value & flag
+      & info [ "tamper" ]
+          ~doc:
+            "Run the tampered-certificate suite instead: corrupt every \
+             verified production certificate (shifted target, collided \
+             targets, out-of-range target) and require the checker to \
+             reject each one.")
+  in
+  let legal_arg =
+    Arg.(
+      value & flag
+      & info [ "legal" ]
+          ~doc:
+            "Also derive the Section 2.4.1 legal determination citing the \
+             certificate verdicts as machine-checked premises.")
+  in
+  Cmd.v
+    (Cmd.info "certify"
+       ~doc:
+         "Mechanically verify the registered eps-DP coupling certificates \
+          (exact rational arithmetic, no sampling); exits 1 unless every \
+          production mechanism is certified and every negative control is \
+          rejected.")
+    Term.(const run $ mechanism_arg $ tamper_arg $ legal_arg $ seed_arg)
+
 (* --- experiment / run --- *)
 
 let run_experiments ~seed ~jobs ~engine ~scale ~obs id =
@@ -949,7 +1055,7 @@ let () =
        (Cmd.group (Cmd.info "pso_audit" ~version:Core.version ~doc)
           [
             synth_cmd; anonymize_cmd; game_cmd; audit_cmd; theorems_cmd; report_cmd;
-            dpcheck_cmd; experiment_cmd; run_cmd; validate_json_cmd;
+            dpcheck_cmd; certify_cmd; experiment_cmd; run_cmd; validate_json_cmd;
             ledger_verify_cmd; ledger_report_cmd; bench_compare_cmd;
             bench_pair_cmd;
           ]))

@@ -1,0 +1,87 @@
+type side = A | B
+
+type t = {
+  name : string;
+  atoms : int;
+  outputs : int;
+  mass_a : Q.t array;
+  mass_b : Q.t array;
+  out_a : int array;
+  out_b : int array;
+  bound : Q.t;
+  epsilon_label : string;
+  out_label : int -> string;
+}
+
+let normalize_side ~what weights =
+  let n = Array.length weights in
+  if n = 0 then Error (what ^ ": empty weight vector")
+  else if Array.exists (fun w -> w < 0) weights then
+    Error (what ^ ": negative weight")
+  else
+    let total = Array.fold_left (fun acc w -> Q.(num (add (of_int acc) (of_int w)))) 0 weights in
+    if total <= 0 then Error (what ^ ": zero total weight")
+    else Ok (Array.map (fun w -> Q.make w total) weights)
+
+let check_out ~what ~atoms ~outputs out =
+  if Array.length out <> atoms then Error (what ^ ": output map length")
+  else if Array.exists (fun o -> o < 0 || o >= outputs) out then
+    Error (what ^ ": output map out of range")
+  else Ok ()
+
+let of_spec (s : Dp.Finite.spec) =
+  let ( let* ) = Result.bind in
+  try
+    if s.atoms <= 0 then Error "atoms must be positive"
+    else if s.outputs <= 0 then Error "outputs must be positive"
+    else if
+      Array.length s.weights_a <> s.atoms || Array.length s.weights_b <> s.atoms
+    then Error "weight vector length <> atoms"
+    else
+      let* mass_a = normalize_side ~what:"side A" s.weights_a in
+      let* mass_b = normalize_side ~what:"side B" s.weights_b in
+      let* () = check_out ~what:"side A" ~atoms:s.atoms ~outputs:s.outputs s.out_a in
+      let* () = check_out ~what:"side B" ~atoms:s.atoms ~outputs:s.outputs s.out_b in
+      let bound = Q.make s.bound_num s.bound_den in
+      if Q.lt bound Q.one then Error "claimed bound e^eps below 1"
+      else
+        (* Masses must sum exactly to 1 on each side; Q.make against the
+           side total guarantees it, but re-check so the checker can rely
+           on it even if this module changes. *)
+        let sums_to_one m =
+          Q.equal (Array.fold_left Q.add Q.zero m) Q.one
+        in
+        if not (sums_to_one mass_a && sums_to_one mass_b) then
+          Error "masses do not sum to 1"
+        else
+          Ok
+            {
+              name = s.name;
+              atoms = s.atoms;
+              outputs = s.outputs;
+              mass_a;
+              mass_b;
+              out_a = Array.copy s.out_a;
+              out_b = Array.copy s.out_b;
+              bound;
+              epsilon_label = s.epsilon_label;
+              out_label = s.out_label;
+            }
+  with
+  | Q.Overflow -> Error "overflow while normalizing weights"
+  | Invalid_argument msg -> Error msg
+
+let of_spec_exn s =
+  match of_spec s with
+  | Ok t -> t
+  | Error msg -> invalid_arg ("Cert.Model.of_spec: " ^ s.name ^ ": " ^ msg)
+
+let mass t = function A -> t.mass_a | B -> t.mass_b
+
+let out t = function A -> t.out_a | B -> t.out_b
+
+let output_dist t side =
+  let dist = Array.make t.outputs Q.zero in
+  let m = mass t side and o = out t side in
+  Array.iteri (fun i mi -> dist.(o.(i)) <- Q.add dist.(o.(i)) mi) m;
+  dist

@@ -1,0 +1,41 @@
+(** The finite mechanism-pair model a certificate speaks about.
+
+    A model is a pair of exact probability distributions over a shared
+    finite noise-atom space — one per neighboring database — together
+    with each side's atom→output map and the claimed privacy-loss bound
+    [Λ = e^ε] as an exact rational. It is the normalized, validated form
+    of a {!Dp.Finite.spec}: integer weights become exact rational masses,
+    and every structural invariant (masses sum to one, output maps in
+    range, bound ≥ 1) is checked once here so the {!Witness} checker can
+    assume a well-formed model and stay minimal. *)
+
+type side = A | B
+
+type t = private {
+  name : string;
+  atoms : int;
+  outputs : int;
+  mass_a : Q.t array;  (** exact; sums to 1 *)
+  mass_b : Q.t array;
+  out_a : int array;
+  out_b : int array;
+  bound : Q.t;  (** claimed [e^ε ≥ 1] *)
+  epsilon_label : string;
+  out_label : int -> string;
+}
+
+val of_spec : Dp.Finite.spec -> (t, string) result
+(** Normalize and validate. [Error] explains the first violated
+    invariant; {!Q.Overflow} during normalization is also reported as
+    [Error]. *)
+
+val of_spec_exn : Dp.Finite.spec -> t
+(** Raises [Invalid_argument] where {!of_spec} returns [Error]. *)
+
+val mass : t -> side -> Q.t array
+
+val out : t -> side -> int array
+
+val output_dist : t -> side -> Q.t array
+(** The exact output distribution: per event, the sum of the side's atom
+    masses mapping to it. *)

@@ -1,0 +1,101 @@
+type counterexample = {
+  output : int;
+  direction : Witness.direction;
+  p_src : Q.t;
+  p_dst : Q.t;
+}
+
+type outcome =
+  | Certified of Witness.t * Witness.t
+  | Refuted of counterexample
+  | No_witness of string
+
+let refute (m : Model.t) =
+  let dist_a = Model.output_dist m A and dist_b = Model.output_dist m B in
+  let violation direction p_src p_dst output =
+    if Q.lt (Q.mul m.bound p_dst) p_src then
+      Some { output; direction; p_src; p_dst }
+    else None
+  in
+  let rec scan o =
+    if o >= m.outputs then None
+    else
+      match violation Witness.A_to_b dist_a.(o) dist_b.(o) o with
+      | Some c -> Some c
+      | None -> (
+        match violation Witness.B_to_a dist_b.(o) dist_a.(o) o with
+        | Some c -> Some c
+        | None -> scan (o + 1))
+  in
+  scan 0
+
+let align (m : Model.t) direction =
+  let src, dst =
+    match direction with
+    | Witness.A_to_b -> (Model.A, Model.B)
+    | Witness.B_to_a -> (Model.B, Model.A)
+  in
+  let mass_src = Model.mass m src and mass_dst = Model.mass m dst in
+  let out_src = Model.out m src and out_dst = Model.out m dst in
+  let ok source target =
+    out_src.(source) = out_dst.(target)
+    && Q.leq mass_src.(source) (Q.mul m.bound mass_dst.(target))
+  in
+  (* Kuhn's augmenting paths over the support atoms. matched.(t) is the
+     source currently aligned to destination atom t, or -1. *)
+  let matched = Array.make m.atoms (-1) in
+  let visited = Array.make m.atoms false in
+  let rec augment source target =
+    if target >= m.atoms then false
+    else if (not visited.(target)) && ok source target then begin
+      visited.(target) <- true;
+      if matched.(target) < 0 || try_from matched.(target) then begin
+        matched.(target) <- source;
+        true
+      end
+      else augment source (target + 1)
+    end
+    else augment source (target + 1)
+  and try_from source = augment source 0 in
+  let complete = ref true in
+  for source = 0 to m.atoms - 1 do
+    if !complete && Q.sign mass_src.(source) > 0 then begin
+      Array.fill visited 0 m.atoms false;
+      if not (try_from source) then complete := false
+    end
+  done;
+  if not !complete then None
+  else begin
+    let map = Array.init m.atoms (fun i -> i) in
+    Array.iteri (fun target source -> if source >= 0 then map.(source) <- target) matched;
+    Some { Witness.direction; map }
+  end
+
+let direction_name = function
+  | Witness.A_to_b -> "A against B"
+  | Witness.B_to_a -> "B against A"
+
+let certify m =
+  match refute m with
+  | Some c -> Refuted c
+  | None -> (
+    match (align m Witness.A_to_b, align m Witness.B_to_a) with
+    | Some w_ab, Some w_ba -> (
+      (* The matching is untrusted; only the exhaustive checker's verdict
+         counts. *)
+      match Witness.check_pair m w_ab w_ba with
+      | Ok () -> Certified (w_ab, w_ba)
+      | Error fs ->
+        No_witness
+          (Format.asprintf "search produced an invalid witness: %a"
+             Witness.pp_failure (List.hd fs)))
+    | None, _ -> No_witness ("no injective alignment of " ^ direction_name Witness.A_to_b)
+    | _, None -> No_witness ("no injective alignment of " ^ direction_name Witness.B_to_a))
+
+let pp_counterexample ~label fmt c =
+  let src, dst =
+    match c.direction with A_to_b -> ("A", "B") | B_to_a -> ("B", "A")
+  in
+  Format.fprintf fmt "Pr[%s -> %s] = %s > bound * Pr[%s -> %s] = bound * %s"
+    src (label c.output) (Q.to_string c.p_src) dst (label c.output)
+    (Q.to_string c.p_dst)

@@ -1,0 +1,81 @@
+type direction = A_to_b | B_to_a
+
+type t = { direction : direction; map : int array }
+
+type failure =
+  | Bad_shape of string
+  | Target_out_of_range of { source : int; target : int }
+  | Not_injective of { source1 : int; source2 : int; target : int }
+  | Class_mismatch of { source : int; target : int; out_src : int; out_dst : int }
+  | Mass_exceeded of { source : int; target : int; ratio : string }
+  | Unverifiable of string
+
+let sides = function
+  | A_to_b -> (Model.A, Model.B)
+  | B_to_a -> (Model.B, Model.A)
+
+let check (m : Model.t) (w : t) =
+  let src, dst = sides w.direction in
+  let mass_src = Model.mass m src and mass_dst = Model.mass m dst in
+  let out_src = Model.out m src and out_dst = Model.out m dst in
+  let failures = ref [] in
+  let fail f = failures := f :: !failures in
+  if Array.length w.map <> m.atoms then
+    Error [ Bad_shape (Printf.sprintf "map length %d, expected %d atoms"
+                         (Array.length w.map) m.atoms) ]
+  else begin
+    (* taken.(t) = the support atom already aligned to destination atom t,
+       for the injectivity check. *)
+    let taken = Array.make m.atoms (-1) in
+    for source = 0 to m.atoms - 1 do
+      let target = w.map.(source) in
+      if target < 0 || target >= m.atoms then
+        fail (Target_out_of_range { source; target })
+      else if Q.sign mass_src.(source) > 0 then begin
+        if taken.(target) >= 0 then
+          fail (Not_injective { source1 = taken.(target); source2 = source; target })
+        else taken.(target) <- source;
+        let os = out_src.(source) and od = out_dst.(target) in
+        if os <> od then
+          fail (Class_mismatch { source; target; out_src = os; out_dst = od });
+        (try
+           if Q.lt (Q.mul m.bound mass_dst.(target)) mass_src.(source) then
+             let ratio =
+               if Q.sign mass_dst.(target) = 0 then "inf"
+               else Q.to_string (Q.div mass_src.(source) mass_dst.(target))
+             in
+             fail (Mass_exceeded { source; target; ratio })
+         with Q.Overflow ->
+           fail (Unverifiable
+                   (Printf.sprintf "overflow checking mass bound at atom %d" source)))
+      end
+    done;
+    match List.rev !failures with [] -> Ok () | fs -> Error fs
+  end
+
+let check_pair m w_ab w_ba =
+  match (w_ab.direction, w_ba.direction) with
+  | A_to_b, B_to_a -> (
+    match (check m w_ab, check m w_ba) with
+    | Ok (), Ok () -> Ok ()
+    | r1, r2 ->
+      let errs = function Ok () -> [] | Error fs -> fs in
+      Error (errs r1 @ errs r2))
+  | _ -> Error [ Bad_shape "check_pair expects directions A_to_b then B_to_a" ]
+
+let pp_failure fmt = function
+  | Bad_shape msg -> Format.fprintf fmt "malformed witness: %s" msg
+  | Target_out_of_range { source; target } ->
+    Format.fprintf fmt "atom %d aligned to out-of-range atom %d" source target
+  | Not_injective { source1; source2; target } ->
+    Format.fprintf fmt "atoms %d and %d both aligned to atom %d" source1
+      source2 target
+  | Class_mismatch { source; target; out_src; out_dst } ->
+    Format.fprintf fmt
+      "atom %d -> %d changes the output event (%d vs %d)" source target
+      out_src out_dst
+  | Mass_exceeded { source; target; ratio } ->
+    Format.fprintf fmt
+      "atom %d -> %d violates the mass bound (ratio %s exceeds the claim)"
+      source target ratio
+  | Unverifiable msg -> Format.fprintf fmt "unverifiable: %s" msg

@@ -1,0 +1,56 @@
+(** Randomness-alignment certificates and their trusted checker.
+
+    A certificate for one direction of the ε-DP inequality is an
+    alignment φ of the source side's noise atoms into the destination
+    side's: for Pr[M(A) = o] ≤ Λ·Pr[M(B) = o] the witness maps each atom
+    ω that A can draw to an atom φ(ω) that B can draw, such that
+
+    - φ is {e injective} on A's support,
+    - φ is {e class-preserving}: running A on ω and B on φ(ω) produce the
+      same output event, and
+    - the {e mass bound} holds atomwise: mass_A(ω) ≤ Λ·mass_B(φ(ω)).
+
+    Summing the mass bound over each output event's fiber (injectivity
+    makes the right-hand sides distinct atoms of B) yields the ε-DP
+    inequality for every event — so {!check_pair} succeeding on both
+    directions is a complete, finite proof that the model satisfies ε-DP
+    at its claimed bound. This module is the {e trusted core}: three
+    first-order conditions verified by exhaustive enumeration with exact
+    rational arithmetic ({!Q}), no floats, no sampling. Everything else
+    (search, catalogs, CLIs) only {e produces} witnesses for it. *)
+
+type direction = A_to_b | B_to_a
+
+type t = {
+  direction : direction;
+  map : int array;
+      (** [map.(ω)] = the destination atom aligned with source atom [ω];
+          length must equal the model's atom count. Entries for zero-mass
+          source atoms must still be in range but are otherwise
+          unconstrained. *)
+}
+
+type failure =
+  | Bad_shape of string  (** wrong map length or claimed directions *)
+  | Target_out_of_range of { source : int; target : int }
+  | Not_injective of { source1 : int; source2 : int; target : int }
+      (** two support atoms aligned to the same destination atom *)
+  | Class_mismatch of { source : int; target : int; out_src : int; out_dst : int }
+      (** the aligned runs disagree on the output event *)
+  | Mass_exceeded of { source : int; target : int; ratio : string }
+      (** [mass_src(source) > Λ·mass_dst(target)]; [ratio] renders the
+          exact violating ratio *)
+  | Unverifiable of string
+      (** exact arithmetic overflowed — the certificate is rejected, never
+          assumed *)
+
+val check : Model.t -> t -> (unit, failure list) result
+(** Verify one direction exhaustively. Returns every failure found, in
+    atom order. *)
+
+val check_pair : Model.t -> t -> t -> (unit, failure list) result
+(** Verify a full certificate: the first witness must be {!A_to_b}, the
+    second {!B_to_a}, and both must check. Success means the model is
+    ε-DP at its claimed bound — exactly. *)
+
+val pp_failure : Format.formatter -> failure -> unit

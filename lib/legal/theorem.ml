@@ -1,9 +1,17 @@
 type standing = Fails_standard | Necessary_condition_met | Undetermined
 
+type certificate = {
+  mechanism : string;
+  claim : string;
+  witness : string;
+  certified : bool;
+}
+
 type premise =
   | Technical of Pso.Theorems.verdict
   | Bridging of Bridge.t
   | Legal_text of Source.t
+  | Machine_checked of certificate
 
 type t = {
   name : string;
@@ -69,9 +77,12 @@ let kanon_fails_anonymization ~variant verdict =
     premises = base.premises @ [ Bridging Bridge.singling_out_to_anonymization ];
   }
 
-let dp_necessary_condition verdict =
+let dp_necessary_condition ?(certificates = []) verdict =
   let standing =
     if verdict.Pso.Theorems.holds then Necessary_condition_met else Undetermined
+  in
+  let all_certified =
+    certificates <> [] && List.for_all (fun c -> c.certified) certificates
   in
   {
     name = "Section 2.4.1 determination";
@@ -83,13 +94,19 @@ let dp_necessary_condition verdict =
        since PSO is a weakened form of the legal notion, this establishes a \
        necessary condition only — differential privacy MAY provide the \
        anonymization the GDPR requires, pending analysis of the remaining \
-       'means reasonably likely to be used'.";
+       'means reasonably likely to be used'."
+      ^ (if all_certified then
+           " The eps-DP premises cited here are machine-checked \
+            (randomness-alignment certificates verified exhaustively in \
+            exact arithmetic), not merely statistically audited."
+         else "");
     premises =
-      [
-        Technical verdict;
-        Bridging Bridge.pso_to_gdpr_singling_out;
-        Legal_text Source.gdpr_recital_26;
-      ];
+      Technical verdict
+      :: (List.map (fun c -> Machine_checked c) certificates
+         @ [
+             Bridging Bridge.pso_to_gdpr_singling_out;
+             Legal_text Source.gdpr_recital_26;
+           ]);
     falsifiable_by =
       "a PSO attacker winning the Definition 2.4 game against an \
        eps-differentially private mechanism with non-negligible probability";
@@ -150,6 +167,11 @@ let pp fmt t =
           (if v.Pso.Theorems.holds then "holds" else "refuted")
       | Bridging b -> Format.fprintf fmt "  premise (bridge): %a@." Bridge.pp b
       | Legal_text s ->
-        Format.fprintf fmt "  premise (legal text): %s@." s.Source.id)
+        Format.fprintf fmt "  premise (legal text): %s@." s.Source.id
+      | Machine_checked c ->
+        Format.fprintf fmt "  premise (machine-checked): %s, %s [%s]@."
+          c.mechanism c.claim
+          (if c.certified then "certified: " ^ c.witness
+           else "NOT certified — audited only"))
     t.premises;
   Format.fprintf fmt "  falsifiable by: %s@." t.falsifiable_by

@@ -16,10 +16,23 @@ type standing =
           beyond the model *)
   | Undetermined  (** a required technical premise did not hold *)
 
+type certificate = {
+  mechanism : string;  (** e.g. ["laplace"] *)
+  claim : string;  (** the certified bound, e.g. ["e^eps = 2 (eps = ln 2)"] *)
+  witness : string;  (** provenance, e.g. ["handwritten alignment, 13 atoms"] *)
+  certified : bool;
+      (** [true] when the mechanical checker verified the certificate;
+          [false] demotes the premise to "audited only" *)
+}
+(** A machine-checked ε-DP premise: the summary of a [Cert.Registry]
+    verdict, carried as plain data so the legal layer stays independent of
+    the certificate checker's types. *)
+
 type premise =
   | Technical of Pso.Theorems.verdict
   | Bridging of Bridge.t
   | Legal_text of Source.t
+  | Machine_checked of certificate
 
 type t = {
   name : string;  (** e.g. "Legal Theorem 2.1" *)
@@ -45,10 +58,13 @@ val kanon_fails_anonymization : variant:Technology.t -> Pso.Theorems.verdict -> 
 (** Legal Corollary 2.1: failure to prevent singling out implies failure of
     the Recital 26 anonymization standard. *)
 
-val dp_necessary_condition : Pso.Theorems.verdict -> t
+val dp_necessary_condition :
+  ?certificates:certificate list -> Pso.Theorems.verdict -> t
 (** Section 2.4.1: from Theorem 2.9, differential privacy prevents PSO; the
     bridge direction forbids concluding more than "necessary condition
-    met". *)
+    met". When [certificates] are supplied they are cited as premises; if
+    every one is certified the conclusion upgrades its ε-DP premises from
+    "statistically audited" to "machine-checked". *)
 
 val count_release_caveat : Pso.Theorems.verdict -> Pso.Theorems.verdict -> t
 (** From Theorems 2.5 and 2.8: a single count release meets the necessary

@@ -270,9 +270,9 @@ let select_without_half rng ~epsilon u =
    with Exit -> ());
   !chosen
 
-let broken_exponential_case () =
+let broken_exponential_case ?(name = "broken-exponential") () =
   {
-    name = "broken-exponential";
+    name;
     epsilon = 1.;
     delta = 0.;
     events = 4;
@@ -367,6 +367,19 @@ let histogram_case () =
   numeric_case ~name:"histogram" ~epsilon:1. ~lo ~hi ~bins
     ~sample_a:(sample t_a) ~sample_b:(sample t_b) ()
 
+let tree_case () =
+  (* Neighboring 4-cell histograms differing by one record in cell 1; the
+     audited output is the root range query (post-processing of the full
+     ε-DP tree release, so a violation here indicts the whole tree). *)
+  let histogram_a = [| 5; 8; 3; 4 |] in
+  let histogram_b = [| 5; 7; 3; 4 |] in
+  let sample h r =
+    let t = Dp.Tree.build r ~epsilon:1. h in
+    Dp.Tree.range t ~lo:0 ~hi:3
+  in
+  numeric_case ~name:"tree" ~epsilon:1. ~lo:11. ~hi:28. ~bins:17
+    ~sample_a:(sample histogram_a) ~sample_b:(sample histogram_b) ()
+
 let standard () =
   [
     laplace_case ();
@@ -377,15 +390,27 @@ let standard () =
     noisy_max_case ();
     sparse_vector_case ();
     histogram_case ();
+    tree_case ();
   ]
 
-let broken () =
-  [
-    laplace_case ~name:"broken-laplace" ~scale_override:(Some 0.5) ~broken:true ();
-    geometric_case ~name:"broken-geometric" ~actual_epsilon:3. ~broken:true ();
-    broken_exponential_case ();
-    rr_case ~name:"broken-randomized-response" ~actual_epsilon:2. ~broken:true ();
-  ]
+(* Each sampling control is built FROM the shared spec in
+   {!Controls}: the defect kind selects the miscalibrated sampler and the
+   spec's actual ε drives it, so the auditor, the certificate search, and
+   CI all test the same four defects. *)
+let case_of_control (c : Controls.spec) =
+  match c.Controls.kind with
+  | Controls.Laplace_half_scale ->
+    (* actual ε = 2 × claimed ⇔ noise at half the required scale. *)
+    laplace_case ~name:c.name
+      ~scale_override:(Some (c.claimed_epsilon /. c.actual_epsilon))
+      ~broken:true ()
+  | Controls.Geometric_triple_epsilon ->
+    geometric_case ~name:c.name ~actual_epsilon:c.actual_epsilon ~broken:true ()
+  | Controls.Exponential_missing_half -> broken_exponential_case ~name:c.name ()
+  | Controls.Randomized_response_double_epsilon ->
+    rr_case ~name:c.name ~actual_epsilon:c.actual_epsilon ~broken:true ()
+
+let broken () = List.map case_of_control Controls.all
 
 let all () = standard () @ broken ()
 

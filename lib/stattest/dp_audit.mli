@@ -79,13 +79,18 @@ val passed : report -> bool
 val standard : unit -> case list
 (** One case per [lib/dp] mechanism at its claimed ε: laplace, gaussian,
     geometric, exponential, randomized_response, noisy_max, sparse_vector,
-    histogram. All are expected to pass. *)
+    histogram, tree. All are expected to pass. *)
+
+val case_of_control : Controls.spec -> case
+(** The sampling case realizing a shared negative-control spec: the spec's
+    defect kind selects the miscalibrated sampler and its [actual_epsilon]
+    drives it, while the case still {e claims} [claimed_epsilon]. *)
 
 val broken : unit -> case list
-(** Deliberately miscalibrated variants the auditor must flag:
-    half-scale Laplace noise, geometric noise at triple ε, the exponential
-    mechanism without its factor-2 denominator, and randomized response at
-    double ε. *)
+(** [List.map case_of_control Controls.all] — the four deliberately
+    miscalibrated variants the auditor must flag: half-scale Laplace
+    noise, geometric noise at triple ε, the exponential mechanism without
+    its factor-2 denominator, and randomized response at double ε. *)
 
 val all : unit -> case list
 (** [standard () @ broken ()]. *)

@@ -31,6 +31,10 @@
 #      ledger-on-count-batched kernel must stay within 10% of
 #      ledger-off-count-batched (pso_audit bench-pair, with the same
 #      re-measure-on-noise retry as the bench regression gate)
+#  11. certificate gate: pso_audit certify must verify every production
+#      eps-DP coupling certificate exactly and reject every negative
+#      control (nonzero exit otherwise), and the tampered-certificate
+#      smoke (certify --tamper) must reject every corrupted witness
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -163,4 +167,23 @@ if [ "$pair_ok" -ne 1 ]; then
   exit 1
 fi
 
-echo "ci: ok (build + tests + jobs-determinism + golden tables + negative auditor + obs smoke + engine check + bench kernels + audit ledger)"
+# Certificate gate: the exact checker must certify all production
+# mechanisms and reject all negative controls in one run (the command's
+# own exit status enforces both), and the verdicts must say so
+# explicitly. A passing tamper suite proves the checker actually rejects
+# invalid witnesses rather than accepting everything.
+dune exec bin/pso_audit.exe -- certify > "$tmp1"
+if ! grep -q 'production mechanisms certified' "$tmp1" \
+   || ! grep -q 'negative controls rejected -> OK' "$tmp1"; then
+  echo "ci: certify verdict table missing its summary lines" >&2
+  cat "$tmp1" >&2
+  exit 1
+fi
+dune exec bin/pso_audit.exe -- certify --tamper > "$tmp1"
+if grep -q ACCEPTED "$tmp1" || ! grep -q REJECTED "$tmp1"; then
+  echo "ci: tampered-certificate smoke failed: a corrupted witness was accepted" >&2
+  cat "$tmp1" >&2
+  exit 1
+fi
+
+echo "ci: ok (build + tests + jobs-determinism + golden tables + negative auditor + obs smoke + engine check + bench kernels + audit ledger + certificates)"

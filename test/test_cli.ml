@@ -115,6 +115,44 @@ let test_pso_audit_dpcheck_passes_standard_case () =
   Alcotest.(check bool) "report printed" true (contains r.stdout "laplace");
   Alcotest.(check bool) "no case flagged" true (contains r.stdout "0/1")
 
+(* --- certify --- *)
+
+let test_pso_audit_certify () =
+  let r = run (pso_audit [ "certify" ]) in
+  Alcotest.(check int) "certify exits 0" 0 r.code;
+  Alcotest.(check bool) "verdict table rendered" true
+    (contains r.stdout "machine-checked eps-DP certificates");
+  Alcotest.(check bool) "all production certified" true
+    (contains r.stdout "8/8 production mechanisms certified");
+  Alcotest.(check bool) "all controls rejected" true
+    (contains r.stdout "4/4 negative controls rejected -> OK");
+  let r' = run (pso_audit [ "certify" ]) in
+  Alcotest.(check string) "deterministic output" r.stdout r'.stdout
+
+let test_pso_audit_certify_single_mechanism () =
+  let r = run (pso_audit [ "certify"; "--mechanism"; "laplace" ]) in
+  Alcotest.(check int) "single mechanism exits 0" 0 r.code;
+  Alcotest.(check bool) "laplace row present" true (contains r.stdout "laplace");
+  Alcotest.(check bool) "other rows absent" false (contains r.stdout "sparse_vector");
+  let bad = run (pso_audit [ "certify"; "--mechanism"; "nope" ]) in
+  Alcotest.(check int) "unknown mechanism exits 2" 2 bad.code;
+  Alcotest.(check bool) "error explains itself" true
+    (contains bad.stderr "unknown certificate")
+
+let test_pso_audit_certify_tamper () =
+  let r = run (pso_audit [ "certify"; "--tamper" ]) in
+  Alcotest.(check int) "tamper suite exits 0" 0 r.code;
+  Alcotest.(check bool) "tampers rejected" true (contains r.stdout "REJECTED");
+  Alcotest.(check bool) "none accepted" false (contains r.stdout "ACCEPTED");
+  Alcotest.(check bool) "summary line" true
+    (contains r.stdout "tampered certificates rejected")
+
+let test_pso_audit_certify_legal () =
+  let r = run (pso_audit [ "certify"; "--legal" ]) in
+  Alcotest.(check int) "legal rendering exits 0" 0 r.code;
+  Alcotest.(check bool) "certified premises cited" true
+    (contains r.stdout "premise (machine-checked)")
+
 (* --- run + observability flags --- *)
 
 let parse_json name s =
@@ -262,6 +300,13 @@ let () =
             test_pso_audit_dpcheck_passes_standard_case;
           Alcotest.test_case "dpcheck broken flagged" `Slow
             test_pso_audit_dpcheck_flags_broken_case;
+          Alcotest.test_case "certify verdicts" `Quick test_pso_audit_certify;
+          Alcotest.test_case "certify single mechanism" `Quick
+            test_pso_audit_certify_single_mechanism;
+          Alcotest.test_case "certify tamper suite" `Quick
+            test_pso_audit_certify_tamper;
+          Alcotest.test_case "certify legal rendering" `Slow
+            test_pso_audit_certify_legal;
           Alcotest.test_case "run validation" `Quick test_pso_audit_run_validation;
           Alcotest.test_case "run with trace and metrics" `Slow
             test_pso_audit_run_trace_and_metrics;

@@ -302,6 +302,33 @@ let test_tree_beats_flat_on_wide_ranges () =
     true
     (!tree_err < !flat_err /. 4.)
 
+let test_tree_deterministic () =
+  (* Same seed, same histogram -> byte-identical releases: the tree draws
+     its noise in a fixed node order from one generator. *)
+  let hist = Array.init 37 (fun i -> (i * 5) mod 11) in
+  let build () = Dp.Tree.build (rng ()) ~epsilon:0.7 hist in
+  let t1 = build () and t2 = build () in
+  Alcotest.(check (float 0.)) "total" (Dp.Tree.total t1) (Dp.Tree.total t2);
+  List.iter
+    (fun (lo, hi) ->
+      Alcotest.(check (float 0.))
+        (Printf.sprintf "range (%d,%d)" lo hi)
+        (Dp.Tree.range t1 ~lo ~hi)
+        (Dp.Tree.range t2 ~lo ~hi))
+    [ (0, 36); (0, 0); (3, 17); (20, 36) ]
+
+let test_tree_dp_inequality () =
+  (* The tree mechanism is part of the standard dpcheck battery; audit its
+     case here like the Laplace one, so a calibration regression in
+     Tree.build fails the dp suite directly. *)
+  match Stattest.Dp_audit.find "tree" with
+  | None -> Alcotest.fail "tree auditor case missing from the battery"
+  | Some case ->
+    let report = Stattest.Dp_audit.run (rng ()) ~trials:30_000 case in
+    if not (Stattest.Dp_audit.passed report) then
+      Alcotest.failf "DP inequality violated:@.%a" Stattest.Dp_audit.pp_report
+        report
+
 let test_tree_validates () =
   Alcotest.(check bool) "empty rejected" true
     (try
@@ -672,6 +699,9 @@ let () =
             test_tree_range_matches_truth_roughly;
           Alcotest.test_case "beats flat on wide ranges" `Slow
             test_tree_beats_flat_on_wide_ranges;
+          Alcotest.test_case "deterministic per seed" `Quick
+            test_tree_deterministic;
+          Alcotest.test_case "DP inequality" `Slow test_tree_dp_inequality;
           Alcotest.test_case "validates" `Quick test_tree_validates;
         ] );
       ( "subsample",

@@ -1,4 +1,5 @@
-(* Golden-table regression harness for the experiment suite.
+(* Golden-table regression harness for the experiment suite and the
+   certificate verdict table.
 
    Every E1..E13 table is rendered at Quick scale from the bench harness's
    exact specification — [Parallel.Pool.set_default_jobs], then a fresh
@@ -26,6 +27,21 @@ let render (e : Experiments.Registry.entry) ~jobs =
   Format.pp_print_flush fmt ();
   Buffer.contents buf
 
+(* The certificate verdict table rides along as the CERT snapshot: it
+   involves no sampling or pool at all, so rendering it at every jobs
+   count pins the stronger claim that the verdicts cannot depend on
+   parallelism. *)
+let render_cert ~jobs =
+  Parallel.Pool.set_default_jobs jobs;
+  Cert.Registry.render_table (Cert.Registry.verify_all ())
+
+let tables () =
+  List.map
+    (fun (e : Experiments.Registry.entry) ->
+      (e.Experiments.Registry.id, fun ~jobs -> render e ~jobs))
+    Experiments.Registry.all
+  @ [ ("CERT", render_cert) ]
+
 (* Under `dune runtest` the cwd is _build/default/test and the snapshots
    are staged at golden/ by the dune deps; under `dune exec` from the repo
    root they live at test/golden. *)
@@ -33,8 +49,7 @@ let golden_dir () =
   if Sys.file_exists "golden" && Sys.is_directory "golden" then "golden"
   else Filename.concat "test" "golden"
 
-let golden_path e =
-  Filename.concat (golden_dir ()) (e.Experiments.Registry.id ^ ".txt")
+let golden_path id = Filename.concat (golden_dir ()) (id ^ ".txt")
 
 let read_file path =
   let ic = open_in_bin path in
@@ -63,17 +78,16 @@ let update () =
   let dir = golden_dir () in
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
   List.iter
-    (fun (e : Experiments.Registry.entry) ->
-      write_file (golden_path e) (render e ~jobs:1);
-      Printf.printf "wrote %s\n%!" (golden_path e))
-    Experiments.Registry.all
+    (fun (id, render) ->
+      write_file (golden_path id) (render ~jobs:1);
+      Printf.printf "wrote %s\n%!" (golden_path id))
+    (tables ())
 
 let check () =
   let failures = ref 0 in
   List.iter
-    (fun (e : Experiments.Registry.entry) ->
-      let id = e.Experiments.Registry.id in
-      let path = golden_path e in
+    (fun (id, render) ->
+      let path = golden_path id in
       if not (Sys.file_exists path) then begin
         incr failures;
         Printf.printf
@@ -84,7 +98,7 @@ let check () =
         let expected = read_file path in
         List.iter
           (fun jobs ->
-            let actual = render e ~jobs in
+            let actual = render ~jobs in
             if String.equal expected actual then
               Printf.printf "[OK]   %s jobs=%d\n%!" id jobs
             else begin
@@ -99,7 +113,7 @@ let check () =
             end)
           [ 1; 2; 4 ]
       end)
-    Experiments.Registry.all;
+    (tables ());
   if !failures > 0 then begin
     Printf.printf
       "%d golden mismatch(es); if the change is intentional, regenerate with\n\

@@ -217,7 +217,8 @@ let test_auditor_find_and_validation () =
   Alcotest.(check bool) "find laplace" true (Audit.find "LAPLACE" <> None);
   Alcotest.(check bool) "find broken" true (Audit.find "broken-laplace" <> None);
   Alcotest.(check bool) "unknown absent" true (Audit.find "nope" = None);
-  Alcotest.(check int) "battery size" 12 (List.length (Audit.all ()));
+  Alcotest.(check bool) "find tree" true (Audit.find "tree" <> None);
+  Alcotest.(check int) "battery size" 13 (List.length (Audit.all ()));
   Alcotest.check_raises "trials validated"
     (Invalid_argument "Stattest.Dp_audit.run: trials must be positive") (fun () ->
       ignore (Audit.run ~trials:0 (rng 1L) (List.hd (Audit.standard ()))))
@@ -251,7 +252,7 @@ let () =
         ] );
       ( "dp auditor",
         [
-          Alcotest.test_case "passes all 8 mechanisms" `Slow test_auditor_passes_standard;
+          Alcotest.test_case "passes all 9 mechanisms" `Slow test_auditor_passes_standard;
           Alcotest.test_case "flags broken variants" `Slow test_auditor_flags_broken;
           Alcotest.test_case "jobs-deterministic" `Quick test_auditor_jobs_deterministic;
           Alcotest.test_case "find/validation" `Quick test_auditor_find_and_validation;
