@@ -270,6 +270,21 @@ let predicate_kernel_tests () =
            ignore
              (Dp.Bulk.laplace_many noise_rng ~scale:noise_scale
                 predicate_batch_size)));
+    (* The snapshot-overhead pair: the same batched count with the
+       Timeline ticker stopped and ticking at 10 Hz. Captures steal CPU
+       from a core and contend on the quiescence gate, so CI holds the
+       pair within a relative tolerance (scripts/ci.sh, pso_audit
+       bench-pair). Last in the list; main stops any leftover ticker
+       after the perf run. *)
+    Test.make ~name:"timeline-off-count-batched"
+      (Staged.stage (fun () ->
+           if Obs.Timeline.running () then Obs.Timeline.stop ();
+           bcheck (Query.Predicate.count_many btable bcs)));
+    Test.make ~name:"timeline-10hz-count-batched"
+      (Staged.stage (fun () ->
+           if not (Obs.Timeline.running ()) then
+             Obs.Timeline.start ~period_ns:100_000_000L ();
+           bcheck (Query.Predicate.count_many btable bcs)));
   ]
 
 let predicates_only only =
@@ -346,6 +361,10 @@ let () =
   let metrics = ref false in
   let ledger = ref None in
   let progress = ref false in
+  let prom = ref None in
+  let timeline = ref None in
+  let watch = ref false in
+  let tick_ms = ref 250 in
   let args =
     [
       ("--full", Arg.Set full, "full-scale experiment parameters (slow)");
@@ -370,6 +389,16 @@ let () =
         "write the audit journal as ledger/v1 JSONL to FILE" );
       ("--metrics", Arg.Set metrics, "print a metrics summary table to stderr");
       ("--progress", Arg.Set progress, "stderr heartbeat with items/sec and ETA");
+      ( "--prom",
+        Arg.String (fun s -> prom := Some s),
+        "rewrite FILE atomically on every telemetry tick in Prometheus text format" );
+      ( "--timeline",
+        Arg.String (fun s -> timeline := Some s),
+        "write the snapshot ring as obs-timeline/v1 JSON on completion" );
+      ("--watch", Arg.Set watch, "live stderr dashboard (replaces --progress)");
+      ( "--tick-ms",
+        Arg.Set_int tick_ms,
+        "telemetry snapshot period for --prom/--watch (default 250)" );
     ]
   in
   let usage =
@@ -397,9 +426,15 @@ let () =
     Arg.usage args usage;
     exit 2
   | _ -> ());
+  if !tick_ms < 1 then begin
+    prerr_endline "bench: --tick-ms must be >= 1";
+    Arg.usage args usage;
+    exit 2
+  end;
   Parallel.Pool.set_default_jobs !jobs;
-  if !progress then Obs.Progress.enable ();
-  let obs_wanted = !trace <> None || !metrics_json <> None || !metrics in
+  if !progress && not !watch then Obs.Progress.enable ();
+  let live = !prom <> None || !timeline <> None || !watch in
+  let obs_wanted = !trace <> None || !metrics_json <> None || !metrics || live in
   if obs_wanted then begin
     Obs.reset ();
     Obs.enable ()
@@ -408,11 +443,35 @@ let () =
     Obs.Ledger.reset ();
     Obs.Ledger.enable ()
   end;
+  if live then begin
+    Obs.Timeline.reset ();
+    Obs.Timeline.set_jobs !jobs;
+    Option.iter
+      (fun path ->
+        Obs.Timeline.subscribe (fun values _ ->
+            Obs.Prom.write_file path (Obs.Prom.render values)))
+      !prom;
+    if !watch then Obs.Timeline.subscribe (Obs.Watch.subscriber ~jobs:!jobs ());
+    Obs.Timeline.start ~period_ns:(Int64.of_int (!tick_ms * 1_000_000)) ()
+  end;
   let scale = if !full then Experiments.Common.Full else Experiments.Common.Quick in
   if !tables then
     if !speedup then speedup_tables ~scale ~only:!only ~jobs:!jobs ()
     else experiment_tables ~scale ~only:!only ();
   if !perf then perf_benchmarks ~only:!only ~json:!json ~jobs:!jobs ();
+  (* Also reaps a ticker left running by the timeline overhead kernels. *)
+  Obs.Timeline.stop ();
+  if live then begin
+    ignore (Obs.Timeline.capture ~final:true ());
+    Option.iter
+      (fun path ->
+        Obs.Timeline.write_file path;
+        Format.eprintf "[obs] wrote %s to %s@." Obs.Timeline.schema path)
+      !timeline;
+    Option.iter
+      (fun path -> Format.eprintf "[obs] wrote Prometheus text to %s@." path)
+      !prom
+  end;
   Option.iter
     (fun path ->
       Obs.Ledger.disable ();

@@ -78,6 +78,10 @@ type obs_cfg = {
   metrics : bool;
   progress : bool;
   ledger : string option;
+  prom : string option;
+  timeline : string option;
+  watch : bool;
+  tick_ms : int;
 }
 
 let obs_term =
@@ -120,16 +124,74 @@ let obs_term =
              every --jobs for a fixed seed); re-check it with $(b,pso_audit \
              ledger-verify).")
   in
+  let prom =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "prom" ] ~docv:"FILE"
+          ~doc:
+            "Rewrite FILE atomically on every telemetry tick in Prometheus \
+             text-exposition format (# HELP/# TYPE from metric \
+             registrations; every sample carries a \
+             class=\"deterministic\"|\"timing\" label).")
+  in
+  let timeline =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "timeline" ] ~docv:"FILE"
+          ~doc:
+            "Write the run's snapshot ring as obs-timeline/v1 JSON on \
+             completion: periodic captures of every metric with \
+             per-interval deltas and rates, plus a final post-workload \
+             capture whose deterministic entries are byte-identical at \
+             every --jobs.")
+  in
+  let watch =
+    Arg.(
+      value & flag
+      & info [ "watch" ]
+          ~doc:
+            "Live stderr dashboard redrawn on every telemetry tick (top \
+             counters with rates, gauges, sketch quantiles). Replaces the \
+             --progress heartbeat when both are given.")
+  in
+  let tick_ms =
+    Arg.(
+      value & opt int 250
+      & info [ "tick-ms" ] ~docv:"MS"
+          ~doc:"Telemetry snapshot period for --prom/--watch (default 250).")
+  in
   Term.(
-    const (fun trace metrics_json metrics progress ledger ->
-        { trace; metrics_json; metrics; progress; ledger })
-    $ trace $ metrics_json $ metrics $ progress $ ledger)
+    const (fun trace metrics_json metrics progress ledger prom timeline watch
+               tick_ms ->
+        {
+          trace;
+          metrics_json;
+          metrics;
+          progress;
+          ledger;
+          prom;
+          timeline;
+          watch;
+          tick_ms;
+        })
+    $ trace $ metrics_json $ metrics $ progress $ ledger $ prom $ timeline
+    $ watch $ tick_ms)
 
 (* Runs [f] with telemetry enabled when any obs output was requested, then
    exports. [f] returns an exit code instead of calling [exit] directly so
    the snapshot/export runs before the process terminates. *)
 let with_obs cfg f =
-  if cfg.progress then Obs.Progress.enable ();
+  if cfg.tick_ms <= 0 then begin
+    Format.eprintf "pso_audit: --tick-ms must be > 0 (got %d)@." cfg.tick_ms;
+    exit 2
+  end;
+  (* The Timeline layer (ticker + subscribers) runs whenever any live
+     consumer was requested; --watch absorbs --progress so stderr has a
+     single writer. *)
+  let live = cfg.prom <> None || cfg.timeline <> None || cfg.watch in
+  if cfg.progress && not cfg.watch then Obs.Progress.enable ();
   (match cfg.ledger with
   | Some _ ->
     Obs.Ledger.reset ();
@@ -143,19 +205,48 @@ let with_obs cfg f =
         Format.eprintf "[obs] wrote %s to %s@." Obs.Ledger.schema path)
       cfg.ledger
   in
-  let wanted = cfg.trace <> None || cfg.metrics_json <> None || cfg.metrics in
+  let wanted =
+    cfg.trace <> None || cfg.metrics_json <> None || cfg.metrics || live
+  in
   if not wanted then begin
     let code = f () in
     finish_ledger ();
     code
   end
   else begin
+    let jobs = Parallel.Pool.jobs (Parallel.Pool.default ()) in
     Obs.reset ();
     Obs.enable ();
+    if live then begin
+      Obs.Timeline.reset ();
+      Obs.Timeline.set_jobs jobs;
+      Option.iter
+        (fun path ->
+          Obs.Timeline.subscribe (fun values _ ->
+              Obs.Prom.write_file path (Obs.Prom.render values)))
+        cfg.prom;
+      if cfg.watch then Obs.Timeline.subscribe (Obs.Watch.subscriber ~jobs ());
+      Obs.Timeline.start
+        ~period_ns:(Int64.of_int (cfg.tick_ms * 1_000_000))
+        ()
+    end;
     let code = f () in
-    let report =
-      Obs.snapshot ~jobs:(Parallel.Pool.jobs (Parallel.Pool.default ())) ()
-    in
+    if live then begin
+      (* Stop ticking before the final capture so it freezes the
+         completed workload: its deterministic entries are byte-identical
+         at every --jobs, unlike the wall-clock-placed periodic ticks. *)
+      Obs.Timeline.stop ();
+      ignore (Obs.Timeline.capture ~final:true ());
+      Option.iter
+        (fun path ->
+          Obs.Timeline.write_file path;
+          Format.eprintf "[obs] wrote %s to %s@." Obs.Timeline.schema path)
+        cfg.timeline;
+      Option.iter
+        (fun path -> Format.eprintf "[obs] wrote Prometheus text to %s@." path)
+        cfg.prom
+    end;
+    let report = Obs.snapshot ~jobs () in
     Option.iter
       (fun path ->
         Obs.Export.write_file path (Obs.Export.chrome_trace report);
@@ -755,35 +846,71 @@ let validate_json_cmd =
           | _ -> "unknown schema"
         in
         match Core.Json.of_string contents with
-        | Ok doc -> Format.printf "ok: %s (%s)@." path (schema_of doc)
+        | Ok doc ->
+          (* Schemas with a structural validator get the deep check, not
+             just a parse. *)
+          if String.equal (schema_of doc) Obs.Timeline.schema then begin
+            match Obs.Timeline.validate doc with
+            | Ok () -> Format.printf "ok: %s (%s)@." path Obs.Timeline.schema
+            | Error msg ->
+              Format.eprintf "pso_audit: %s: invalid %s: %s@." path
+                Obs.Timeline.schema msg;
+              exit 2
+          end
+          else Format.printf "ok: %s (%s)@." path (schema_of doc)
         | Error msg -> (
-          (* Not one document — maybe JSONL (the --ledger output): every
-             non-empty line must parse on its own. *)
-          let lines =
-            String.split_on_char '\n' contents
-            |> List.filter (fun l -> String.trim l <> "")
+          (* Not one JSON document. A Prometheus text exposition (the
+             --prom output) starts with a comment or a bare metric name —
+             never a JSON value — so try its line grammar next. *)
+          let looks_prom =
+            match
+              String.split_on_char '\n' contents
+              |> List.find_opt (fun l -> String.trim l <> "")
+            with
+            | Some l -> (
+              match (String.trim l).[0] with
+              | '#' | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true
+              | _ -> false)
+            | None -> false
           in
-          match lines with
-          | [] | [ _ ] ->
-            Format.eprintf "pso_audit: %s: invalid JSON: %s@." path msg;
-            exit 2
-          | first :: _ ->
-            List.iteri
-              (fun i l ->
-                match Core.Json.of_string l with
-                | Ok _ -> ()
-                | Error lmsg ->
-                  Format.eprintf "pso_audit: %s: invalid JSON (line %d): %s@."
-                    path (i + 1) lmsg;
-                  exit 2)
-              lines;
-            let schema =
-              match Core.Json.of_string first with
-              | Ok doc -> schema_of doc
-              | Error _ -> "unknown schema"
+          if looks_prom then begin
+            match Obs.Prom.validate contents with
+            | Ok () -> Format.printf "ok: %s (prometheus-text)@." path
+            | Error pmsg ->
+              Format.eprintf "pso_audit: %s: invalid Prometheus text: %s@."
+                path pmsg;
+              exit 2
+          end
+          else begin
+            (* Maybe JSONL (the --ledger output): every non-empty line
+               must parse on its own. *)
+            let lines =
+              String.split_on_char '\n' contents
+              |> List.filter (fun l -> String.trim l <> "")
             in
-            Format.printf "ok: %s (%s, %d lines)@." path schema
-              (List.length lines)))
+            match lines with
+            | [] | [ _ ] ->
+              Format.eprintf "pso_audit: %s: invalid JSON: %s@." path msg;
+              exit 2
+            | first :: _ ->
+              List.iteri
+                (fun i l ->
+                  match Core.Json.of_string l with
+                  | Ok _ -> ()
+                  | Error lmsg ->
+                    Format.eprintf
+                      "pso_audit: %s: invalid JSON (line %d): %s@." path
+                      (i + 1) lmsg;
+                    exit 2)
+                lines;
+              let schema =
+                match Core.Json.of_string first with
+                | Ok doc -> schema_of doc
+                | Error _ -> "unknown schema"
+              in
+              Format.printf "ok: %s (%s, %d lines)@." path schema
+                (List.length lines)
+          end))
       files
   in
   let files_arg =
@@ -792,8 +919,11 @@ let validate_json_cmd =
   Cmd.v
     (Cmd.info "validate-json"
        ~doc:
-         "Parse JSON files (e.g. --trace / --metrics-json output) and report \
-          their schema; exits 2 on malformed input.")
+         "Parse telemetry artifacts and report their schema: JSON documents \
+          (--trace / --metrics-json output), JSONL (--ledger output), \
+          Prometheus text expositions (--prom output, line-grammar check) \
+          and obs-timeline/v1 documents (--timeline output, structural \
+          check). Exits 2 on malformed input.")
     Term.(const run $ files_arg)
 
 (* --- ledger-verify / ledger-report --- *)
@@ -840,25 +970,177 @@ let ledger_verify_cmd =
     Term.(const run $ ledger_file_arg)
 
 let ledger_report_cmd =
-  let run path =
+  let run path json =
     let events = read_ledger path in
     let rows = Obs.Ledger.report events in
-    Format.printf "ledger report: %s (%d event(s))@." path (List.length events);
-    Format.printf "%a" Obs.Ledger.pp_report rows;
+    if json then
+      print_endline
+        (Core.Json.to_string ~pretty:true (Obs.Ledger.report_json rows))
+    else begin
+      Format.printf "ledger report: %s (%d event(s))@." path
+        (List.length events);
+      Format.printf "%a" Obs.Ledger.pp_report rows
+    end;
     let violations = Obs.Ledger.verify events in
     if violations <> [] then begin
-      Format.printf "WARNING: %d violation(s) — run ledger-verify@."
-        (List.length violations);
+      (* In --json mode stdout stays pure JSON; the warning moves to
+         stderr. *)
+      if json then
+        Format.eprintf "WARNING: %d violation(s) — run ledger-verify@."
+          (List.length violations)
+      else
+        Format.printf "WARNING: %d violation(s) — run ledger-verify@."
+          (List.length violations);
       exit 1
     end
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit the per-analyst table as a ledger-report/v1 JSON document \
+             on stdout instead of the human table.")
   in
   Cmd.v
     (Cmd.info "ledger-report"
        ~doc:
          "Print per-analyst tables (queries, refusals, eps spent/remaining, \
-          cost p50/p95/p99) from an audit ledger. Exits 1 if the ledger \
-          does not verify, 2 on malformed input.")
-    Term.(const run $ ledger_file_arg)
+          cost p50/p95/p99) from an audit ledger, as a human table or \
+          (--json) a ledger-report/v1 document. Exits 1 if the ledger does \
+          not verify, 2 on malformed input.")
+    Term.(const run $ ledger_file_arg $ json_arg)
+
+(* --- report-html --- *)
+
+let report_html_cmd =
+  let read_text path =
+    try
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with Sys_error msg ->
+      Format.eprintf "pso_audit: cannot read %s: %s@." path msg;
+      exit 2
+  in
+  let read_json ~expect path =
+    let doc =
+      match Core.Json.of_string (read_text path) with
+      | Ok doc -> doc
+      | Error msg ->
+        Format.eprintf "pso_audit: %s: invalid JSON: %s@." path msg;
+        exit 2
+    in
+    (match Core.Json.member "schema" doc with
+    | Some (Core.Json.String s) when String.equal s expect -> ()
+    | Some (Core.Json.String s) ->
+      Format.eprintf "pso_audit: %s: expected schema %s, found %s@." path
+        expect s;
+      exit 2
+    | _ ->
+      Format.eprintf "pso_audit: %s: missing schema field@." path;
+      exit 2);
+    doc
+  in
+  let run out timeline metrics ledger bench title =
+    if timeline = None && metrics = None && ledger = None && bench = [] then begin
+      Format.eprintf
+        "pso_audit: report-html needs at least one source (--timeline, \
+         --metrics-json, --ledger or --bench)@.";
+      exit 2
+    end;
+    let timeline =
+      Option.map
+        (fun path ->
+          let doc = read_json ~expect:Obs.Timeline.schema path in
+          (match Obs.Timeline.validate doc with
+          | Ok () -> ()
+          | Error msg ->
+            Format.eprintf "pso_audit: %s: invalid %s: %s@." path
+              Obs.Timeline.schema msg;
+            exit 2);
+          doc)
+        timeline
+    in
+    let metrics =
+      Option.map (fun path -> read_json ~expect:Obs.Export.schema path) metrics
+    in
+    let ledger =
+      Option.map
+        (fun path -> Obs.Ledger.report (read_ledger path))
+        ledger
+    in
+    let bench =
+      match
+        List.map
+          (fun path ->
+            (Filename.basename path, read_json ~expect:"bench-kernels/v1" path))
+          bench
+      with
+      | [] -> None
+      | snaps -> Some snaps
+    in
+    let html =
+      Obs.Report_html.render ?timeline ?metrics ?ledger ?bench ~title ()
+    in
+    let oc = open_out out in
+    output_string oc html;
+    close_out oc;
+    Format.printf "wrote run report to %s@." out
+  in
+  let out_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"OUT.html" ~doc:"Output HTML file.")
+  in
+  let timeline_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "timeline" ] ~docv:"FILE"
+          ~doc:"An obs-timeline/v1 document (from --timeline).")
+  in
+  let metrics_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-json" ] ~docv:"FILE"
+          ~doc:"An obs-metrics/v1 document (from --metrics-json).")
+  in
+  let ledger_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "ledger" ] ~docv:"FILE"
+          ~doc:"A ledger/v1 JSONL file (from --ledger).")
+  in
+  let bench_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "bench" ] ~docv:"FILE"
+          ~doc:
+            "A bench-kernels/v1 snapshot (from bench --json); repeatable, \
+             rendered as a trajectory in argument order.")
+  in
+  let title_arg =
+    Arg.(
+      value
+      & opt string "pso_audit run report"
+      & info [ "title" ] ~docv:"TITLE" ~doc:"Report title.")
+  in
+  Cmd.v
+    (Cmd.info "report-html"
+       ~doc:
+         "Fuse a run's telemetry artifacts into one self-contained static \
+          HTML report (inline CSS/SVG, no scripts, no external \
+          references): timeline sparklines, final metric tables, \
+          per-analyst ledger accounting and a bench trajectory. Exits 2 on \
+          any malformed source.")
+    Term.(
+      const run $ out_arg $ timeline_arg $ metrics_arg $ ledger_arg $ bench_arg
+      $ title_arg)
 
 (* --- bench-compare --- *)
 
@@ -1056,6 +1338,7 @@ let () =
           [
             synth_cmd; anonymize_cmd; game_cmd; audit_cmd; theorems_cmd; report_cmd;
             dpcheck_cmd; certify_cmd; experiment_cmd; run_cmd; validate_json_cmd;
-            ledger_verify_cmd; ledger_report_cmd; bench_compare_cmd;
+            ledger_verify_cmd; ledger_report_cmd; report_html_cmd;
+            bench_compare_cmd;
             bench_pair_cmd;
           ]))

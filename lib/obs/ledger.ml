@@ -71,6 +71,12 @@ type buf = {
 
 let max_entries = 1 lsl 20
 
+(* The 2^20 per-domain cap tripping used to be discoverable only by
+   spotting the trailing "truncated" marker in the file; surface it once
+   on stderr at merge time (and as the ledger.events_truncated counter in
+   obs-metrics/v1, pulled by Metric.values). *)
+let warned_truncated = ref false
+
 let mutex = Mutex.create ()
 
 let bufs : buf list ref = ref []
@@ -188,6 +194,7 @@ let reset () =
       b.ctx.fresh <- 0)
     !bufs;
   Mutex.unlock mutex;
+  warned_truncated := false;
   Atomic.set next_region 1
 
 (* Enabling opens an implicit unlimited session for the ambient analyst
@@ -204,6 +211,12 @@ let disable () = Atomic.set on false
 
 (* --- deterministic merge --- *)
 
+let dropped_total () =
+  Mutex.lock mutex;
+  let d = List.fold_left (fun acc b -> acc + b.dropped) 0 !bufs in
+  Mutex.unlock mutex;
+  d
+
 let collect () =
   Mutex.lock mutex;
   let bs = List.sort (fun a b -> compare a.domain b.domain) !bufs in
@@ -212,6 +225,13 @@ let collect () =
   in
   Mutex.unlock mutex;
   let dropped = List.fold_left (fun acc (_, d) -> acc + d) 0 per_domain in
+  if dropped > 0 && not !warned_truncated then begin
+    warned_truncated := true;
+    Printf.eprintf
+      "[obs] warning: ledger event cap tripped: %d event(s) truncated (see \
+       ledger.events_truncated)\n%!"
+      dropped
+  end;
   let all = List.concat_map fst per_domain in
   (* Stable: within one (region, task) every event comes from the single
      domain that ran the task, so buffer order survives the sort. *)
@@ -581,6 +601,46 @@ let report events =
         | _ -> ()))
     events;
   List.rev_map (Hashtbl.find tbl) !order
+
+(* Machine-readable twin of [pp_report] (schema ledger-report/v1), so
+   downstream consumers — report-html in particular — get the per-analyst
+   table without re-parsing a pretty-printed table. *)
+let report_schema = "ledger-report/v1"
+
+let report_json rows =
+  let quant s p =
+    if Sketch.is_empty s then Json.Null else Json.number (Sketch.quantile s p)
+  in
+  Json.Obj
+    [
+      ("schema", Json.String report_schema);
+      ("version", Json.Number 1.);
+      ( "analysts",
+        Json.List
+          (List.map
+             (fun r ->
+               Json.Obj
+                 [
+                   ("analyst", Json.String r.r_analyst);
+                   ("policy", Json.String r.r_policy);
+                   ("queries", Json.Number (float_of_int r.r_queries));
+                   ("refusals", Json.Number (float_of_int r.r_refusals));
+                   ("eps_spent", Json.number r.r_spent);
+                   ( "eps_total",
+                     match r.r_total with
+                     | None -> Json.Null
+                     | Some t -> Json.number t );
+                   ( "eps_left",
+                     match r.r_total with
+                     | None -> Json.Null
+                     | Some t -> Json.number (t -. r.r_spent) );
+                   ("cost_count", Json.Number (float_of_int (Sketch.count r.r_cost)));
+                   ("cost_p50", quant r.r_cost 0.5);
+                   ("cost_p95", quant r.r_cost 0.95);
+                   ("cost_p99", quant r.r_cost 0.99);
+                 ])
+             rows) );
+    ]
 
 let pp_report fmt rows =
   Format.fprintf fmt "%-14s %-10s %8s %8s %10s %10s %8s %8s %8s@." "analyst"

@@ -27,6 +27,11 @@ val reset : unit -> unit
 
 val schema : string
 
+val dropped_total : unit -> int
+(** Events dropped so far by per-domain buffer caps (summed across
+    domains; scheduling-dependent under overflow, hence exported as a
+    timing-class counter). *)
+
 (** {1 Logical coordinates} — called by lib/parallel, not by emitters. *)
 
 val enter_region : unit -> int
@@ -122,3 +127,11 @@ val report : parsed list -> analyst_report list
     query [cost_rows] for deterministic p50/p95/p99. *)
 
 val pp_report : Format.formatter -> analyst_report list -> unit
+
+val report_schema : string
+(** ["ledger-report/v1"]. *)
+
+val report_json : analyst_report list -> Json.t
+(** The machine-readable twin of {!pp_report}: a [ledger-report/v1]
+    document with one entry per analyst (queries, refusals, eps
+    spent/total/left, cost-sketch count and p50/p95/p99). *)

@@ -46,7 +46,10 @@ let disable () = Atomic.set on false
 
 let registry_mutex = Mutex.create ()
 
-type meta = { id : int; name : string; timing : bool }
+(* [help] feeds the Prometheus # HELP line (and any other export that
+   wants prose); empty means "no description registered" and exporters
+   fall back to the name. *)
+type meta = { id : int; name : string; timing : bool; help : string }
 
 let counter_metas : meta list ref = ref [] (* reverse registration order *)
 
@@ -67,13 +70,14 @@ let n_sketches = ref 0
 (* [make] is idempotent by name so independent modules can share a metric
    (e.g. "dp.noise_draws" is bumped from both lib/dp and the Laplace
    mechanism in lib/query). *)
-let register metas n ~timing name =
+let register metas n ~timing ~help name =
   Mutex.lock registry_mutex;
   let m =
+    (* First registration wins (including its help text). *)
     match List.find_opt (fun m -> String.equal m.name name) !metas with
     | Some m -> m
     | None ->
-      let m = { id = !n; name; timing } in
+      let m = { id = !n; name; timing; help } in
       incr n;
       metas := m :: !metas;
       m
@@ -125,6 +129,10 @@ type collector = {
    overflowing events are counted, not silently lost. *)
 let max_events = 1 lsl 18
 
+(* The cap is surfaced loudly, once per run, the first time an
+   aggregation sees drops (see [values]). *)
+let warned_dropped = ref false
+
 let collectors : collector list ref = ref []
 
 let collector_key : collector Domain.DLS.key =
@@ -163,6 +171,7 @@ let reset () =
       c.dropped <- 0)
     !collectors;
   Mutex.unlock registry_mutex;
+  warned_dropped := false;
   epoch := Clock.now_ns ()
 
 (* --- counters --- *)
@@ -170,7 +179,8 @@ let reset () =
 module Counter = struct
   type t = meta
 
-  let make ?(timing = false) name = register counter_metas n_counters ~timing name
+  let make ?(timing = false) ?(help = "") name =
+    register counter_metas n_counters ~timing ~help name
 
   let add t k =
     if Atomic.get on then begin
@@ -191,7 +201,8 @@ end
 module Gauge = struct
   type t = meta
 
-  let make ?(timing = false) name = register gauge_metas n_gauges ~timing name
+  let make ?(timing = false) ?(help = "") name =
+    register gauge_metas n_gauges ~timing ~help name
 
   (* Accumulated as integer nano-units so the cross-domain merge is an
      exact integer sum: float addition order would depend on scheduling
@@ -221,7 +232,8 @@ end
 module Sketchm = struct
   type t = meta
 
-  let make ?(timing = false) name = register sketch_metas n_sketches ~timing name
+  let make ?(timing = false) ?(help = "") name =
+    register sketch_metas n_sketches ~timing ~help name
 
   let row c (t : meta) =
     if t.id >= Array.length c.sks then begin
@@ -247,7 +259,8 @@ end
 module Histogram = struct
   type t = meta
 
-  let make ?(timing = false) name = register hist_metas n_hists ~timing name
+  let make ?(timing = false) ?(help = "") name =
+    register hist_metas n_hists ~timing ~help name
 
   let observe t v =
     if Atomic.get on then begin
@@ -314,6 +327,123 @@ let with_span ?(args = []) ?argsf name f =
       Printexc.raise_with_backtrace e bt
   end
 
+(* --- aggregation --- *)
+
+(* One consistent cross-domain view of every scalar metric, shared by
+   [snapshot] (final obs-metrics/v1 report) and the periodic Timeline
+   captures / Prometheus exporter, which need full histogram bucket rows
+   rather than the sparse nonzero encoding [report] uses. *)
+
+type values = {
+  v_counters : (meta * int) list; (* ascending name *)
+  v_gauges : (meta * float) list; (* ascending name *)
+  v_histograms : (meta * int array) list; (* full bucket rows, ascending name *)
+  v_sketches : (meta * Sketch.t) list; (* merged copies, ascending name *)
+}
+
+(* Synthetic drop counters surface the two silent caps (span events per
+   domain, ledger events per domain). They carry [timing = true]: whether
+   and how much a cap trips under overflow depends on how the pool
+   interleaved work, so the totals are scheduling-dependent. id = -1
+   keeps them clear of the dense registered-id space. *)
+let events_dropped_meta =
+  {
+    id = -1;
+    name = "obs.events_dropped";
+    timing = true;
+    help = "Span events dropped by the per-domain trace cap";
+  }
+
+let ledger_truncated_meta =
+  {
+    id = -1;
+    name = "ledger.events_truncated";
+    timing = true;
+    help = "Audit-ledger events truncated by the per-domain buffer cap";
+  }
+
+let values () =
+  Mutex.lock registry_mutex;
+  let cs = List.sort (fun a b -> compare a.domain b.domain) !collectors in
+  let cmetas = List.rev !counter_metas in
+  let hmetas = List.rev !hist_metas in
+  let gmetas = List.rev !gauge_metas in
+  let smetas = List.rev !sketch_metas in
+  Mutex.unlock registry_mutex;
+  let ev_dropped =
+    List.fold_left (fun acc (c : collector) -> acc + c.dropped) 0 cs
+  in
+  if ev_dropped > 0 && not !warned_dropped then begin
+    warned_dropped := true;
+    Printf.eprintf
+      "[obs] warning: span-event cap tripped: %d event(s) dropped (see \
+       obs.events_dropped)\n\
+       %!"
+      ev_dropped
+  end;
+  let v_counters =
+    List.map
+      (fun m ->
+        let total =
+          List.fold_left
+            (fun acc c ->
+              acc + (if m.id < Array.length c.counts then c.counts.(m.id) else 0))
+            0 cs
+        in
+        (m, total))
+      cmetas
+    @ [
+        (events_dropped_meta, ev_dropped);
+        (ledger_truncated_meta, Ledger.dropped_total ());
+      ]
+    |> List.sort (fun ((a : meta), _) (b, _) -> String.compare a.name b.name)
+  in
+  let v_gauges =
+    List.map
+      (fun m ->
+        let units =
+          List.fold_left
+            (fun acc (c : collector) ->
+              acc + (if m.id < Array.length c.gauges then c.gauges.(m.id) else 0))
+            0 cs
+        in
+        (m, float_of_int units /. 1e9))
+      gmetas
+    |> List.sort (fun ((a : meta), _) (b, _) -> String.compare a.name b.name)
+  in
+  let v_sketches =
+    List.map
+      (fun m ->
+        let acc = Sketch.create () in
+        List.iter
+          (fun (c : collector) ->
+            if m.id < Array.length c.sks then
+              Option.iter (fun s -> Sketch.merge_into ~into:acc s) c.sks.(m.id))
+          cs;
+        (m, acc))
+      smetas
+    |> List.sort (fun ((a : meta), _) (b, _) -> String.compare a.name b.name)
+  in
+  let v_histograms =
+    List.map
+      (fun m ->
+        let acc = Array.make buckets 0 in
+        List.iter
+          (fun c ->
+            if m.id < Array.length c.hists then begin
+              let row = c.hists.(m.id) in
+              if Array.length row > 0 then
+                for b = 0 to buckets - 1 do
+                  acc.(b) <- acc.(b) + row.(b)
+                done
+            end)
+          cs;
+        (m, acc))
+      hmetas
+    |> List.sort (fun ((a : meta), _) (b, _) -> String.compare a.name b.name)
+  in
+  { v_counters; v_gauges; v_histograms; v_sketches }
+
 (* --- snapshot --- *)
 
 type hist = {
@@ -348,74 +478,27 @@ type report = {
 }
 
 let snapshot ?(jobs = 1) () =
+  let v = values () in
   Mutex.lock registry_mutex;
   let cs = List.sort (fun a b -> compare a.domain b.domain) !collectors in
-  let cmetas = List.rev !counter_metas in
-  let hmetas = List.rev !hist_metas in
-  let gmetas = List.rev !gauge_metas in
-  let smetas = List.rev !sketch_metas in
   Mutex.unlock registry_mutex;
-  let counters =
-    List.map
-      (fun m ->
-        let total =
-          List.fold_left
-            (fun acc c ->
-              acc + (if m.id < Array.length c.counts then c.counts.(m.id) else 0))
-            0 cs
-        in
-        (m, total))
-      cmetas
-    |> List.sort (fun ((a : meta), _) (b, _) -> String.compare a.name b.name)
-  in
-  let gauges =
-    List.map
-      (fun m ->
-        let units =
-          List.fold_left
-            (fun acc (c : collector) ->
-              acc + (if m.id < Array.length c.gauges then c.gauges.(m.id) else 0))
-            0 cs
-        in
-        (m, float_of_int units /. 1e9))
-      gmetas
-    |> List.sort (fun ((a : meta), _) (b, _) -> String.compare a.name b.name)
-  in
+  let counters = v.v_counters in
+  let gauges = v.v_gauges in
   let sketches =
     List.map
-      (fun m ->
-        let acc = Sketch.create () in
-        List.iter
-          (fun (c : collector) ->
-            if m.id < Array.length c.sks then
-              Option.iter (fun s -> Sketch.merge_into ~into:acc s) c.sks.(m.id))
-          cs;
-        { sk_name = m.name; sk_timing = m.timing; sk = acc })
-      smetas
-    |> List.sort (fun a b -> String.compare a.sk_name b.sk_name)
+      (fun (m, sk) -> { sk_name = m.name; sk_timing = m.timing; sk })
+      v.v_sketches
   in
   let histograms =
     List.map
-      (fun m ->
-        let acc = Array.make buckets 0 in
-        List.iter
-          (fun c ->
-            if m.id < Array.length c.hists then begin
-              let row = c.hists.(m.id) in
-              if Array.length row > 0 then
-                for b = 0 to buckets - 1 do
-                  acc.(b) <- acc.(b) + row.(b)
-                done
-            end)
-          cs;
+      (fun (m, acc) ->
         let count = Array.fold_left ( + ) 0 acc in
         let bs = ref [] in
         for b = buckets - 1 downto 0 do
           if acc.(b) > 0 then bs := (b, acc.(b)) :: !bs
         done;
         { h_name = m.name; h_timing = m.timing; h_count = count; h_buckets = !bs })
-      hmetas
-    |> List.sort (fun a b -> String.compare a.h_name b.h_name)
+      v.v_histograms
   in
   let domains =
     List.mapi

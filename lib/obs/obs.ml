@@ -30,6 +30,10 @@ module Sketchm = Metric.Sketchm
 module Ledger = Ledger
 module Progress = Progress
 module Export = Export
+module Timeline = Timeline
+module Prom = Prom
+module Watch = Watch
+module Report_html = Report_html
 
 let enabled = Metric.enabled
 

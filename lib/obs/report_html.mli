@@ -1,0 +1,16 @@
+(** The fused HTML run report: one self-contained static page (inline
+    CSS and SVG, no scripts, no external references) combining whichever
+    sources a run produced. Each present source renders one [<section>]
+    with a stable id — [timeline] (obs-timeline/v1 series as sparkline
+    cards), [metrics] (final obs-metrics/v1 tables), [ledger]
+    (per-analyst budget accounting), [bench] (ns/run trajectories across
+    bench-kernels/v1 snapshots, in argument order). *)
+
+val render :
+  ?timeline:Json.t ->
+  ?metrics:Json.t ->
+  ?ledger:Ledger.analyst_report list ->
+  ?bench:(string * Json.t) list ->
+  title:string ->
+  unit ->
+  string

@@ -86,6 +86,32 @@ let merge_into ~into src =
 let copy t =
   { counts = Array.copy t.counts; n = t.n; mn = t.mn; mx = t.mx }
 
+(* Window view between two cumulative captures of one sample stream:
+   bucket-wise subtraction (valid because cumulative bucket counts are
+   monotone). The window's exact extrema are unrecoverable, so they are
+   estimated from the occupied bucket range — quantile reads on a diff
+   carry the usual ~3% bucket error but are not clamped by exact
+   extrema. *)
+let diff ~newer ~older =
+  let t = create () in
+  for b = 0 to buckets - 1 do
+    let d = newer.counts.(b) - older.counts.(b) in
+    t.counts.(b) <- (if d < 0 then 0 else d)
+  done;
+  t.n <- Array.fold_left ( + ) 0 t.counts;
+  let lo = ref 0 and hi = ref 0 in
+  for b = 1 to buckets - 1 do
+    if t.counts.(b) > 0 then begin
+      if !lo = 0 then lo := b;
+      hi := b
+    end
+  done;
+  if !lo > 0 then begin
+    t.mn <- bucket_value !lo;
+    t.mx <- bucket_value !hi
+  end;
+  t
+
 let min_value t = t.mn
 
 let max_value t = t.mx

@@ -26,6 +26,13 @@ val merge_into : into:t -> t -> unit
 
 val copy : t -> t
 
+val diff : newer:t -> older:t -> t
+(** [diff ~newer ~older] is the window sketch between two cumulative
+    captures of one sample stream (bucket-wise subtraction; negative
+    deltas clamp to zero). Window extrema are estimated from the occupied
+    bucket range, so quantile reads keep the ~3% bucket error but lose
+    the exact [min, max] clamp of a directly-built sketch. *)
+
 val reset : t -> unit
 
 val is_empty : t -> bool

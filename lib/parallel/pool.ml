@@ -97,6 +97,18 @@ let c_items = Obs.Counter.make "pool.items"
 
 let h_items_per_steal = Obs.Histogram.make ~timing:true "pool.items_per_steal"
 
+(* Every item runs bracketed as a Timeline snapshot unit: a periodic
+   capture drains in-flight items at these boundaries, so it never
+   observes a half-executed item's metric writes. Unconditional (not
+   gated on [Obs.enabled]) so begin/end pairing survives mid-region
+   enable/disable toggles; the cost is two atomic ops per item. *)
+let run_item f i =
+  Obs.Timeline.item_begin ();
+  Fun.protect ~finally:Obs.Timeline.item_end (fun () ->
+      let v = f i in
+      Obs.Counter.incr c_items;
+      v)
+
 let parallel_init_array pool n f =
   if n < 0 then invalid_arg "Pool.parallel_init_array: negative length";
   if n = 0 then [||]
@@ -109,8 +121,7 @@ let parallel_init_array pool n f =
         "pool.region"
         (fun () ->
           sequential_init n (fun i ->
-              let v = f i in
-              Obs.Counter.incr c_items;
+              let v = run_item f i in
               Obs.Progress.tick progress ~done_:(i + 1);
               v))
     in
@@ -140,7 +151,7 @@ let parallel_init_array pool n f =
           let rec loop () =
             let i = Atomic.fetch_and_add next 1 in
             if i < n then begin
-              (match f i with
+              (match run_item f i with
               | v -> slots.(i) <- Some v
               | exception e ->
                 let bt = Printexc.get_raw_backtrace () in
@@ -148,7 +159,6 @@ let parallel_init_array pool n f =
                 if !error = None then error := Some (e, bt);
                 Mutex.unlock finish_mutex);
               incr mine;
-              Obs.Counter.incr c_items;
               Mutex.lock finish_mutex;
               incr completed;
               if !completed = n then Condition.signal finished;

@@ -35,6 +35,13 @@
 #      eps-DP coupling certificate exactly and reject every negative
 #      control (nonzero exit otherwise), and the tampered-certificate
 #      smoke (certify --tamper) must reject every corrupted witness
+#  12. live-telemetry smoke: a quick E2 run with --prom + --timeline (plus
+#      --metrics-json and --ledger) must leave the golden table untouched,
+#      both new artifacts must pass validate-json (prometheus-text and
+#      obs-timeline/v1), report-html must fuse all four sources into a
+#      self-contained page with every section present, and the 10 Hz
+#      snapshot ticker must cost <=10% on the batched-count kernel
+#      (bench-pair, same re-measure retry as the other perf gates)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -186,4 +193,52 @@ if grep -q ACCEPTED "$tmp1" || ! grep -q REJECTED "$tmp1"; then
   exit 1
 fi
 
-echo "ci: ok (build + tests + jobs-determinism + golden tables + negative auditor + obs smoke + engine check + bench kernels + audit ledger + certificates)"
+# Live-telemetry smoke: periodic snapshots plus the Prometheus mirror must
+# not perturb results (golden byte-identity), both exports must satisfy
+# their validators, and the fused HTML report must carry every section.
+prom=$(mktemp) timeline=$(mktemp) report=$(mktemp)
+trap 'rm -f "$tmp1" "$tmp2" "$trace" "$metrics" "$ledger1" "$ledger2" "$prom" "$timeline" "$report"' EXIT
+dune exec bin/pso_audit.exe -- run E2 --quick --seed 20210621 --jobs 2 \
+  --prom "$prom" --timeline "$timeline" --tick-ms 50 \
+  --metrics-json "$metrics" --ledger "$ledger1" > "$tmp1" 2> /dev/null
+if ! diff -u test/golden/E2.txt "$tmp1"; then
+  echo "ci: live telemetry perturbed the E2 table (differs from test/golden/E2.txt)" >&2
+  exit 1
+fi
+dune exec bin/pso_audit.exe -- validate-json "$prom" "$timeline"
+dune exec bin/pso_audit.exe -- report-html "$report" \
+  --timeline "$timeline" --metrics-json "$metrics" --ledger "$ledger1" \
+  --bench "$tmp2" > /dev/null
+for section in timeline metrics ledger bench; do
+  if ! grep -q "id=\"$section\"" "$report"; then
+    echo "ci: report-html is missing its $section section" >&2
+    exit 1
+  fi
+done
+if grep -q '<script' "$report" || grep -Eq 'https?://' "$report"; then
+  echo "ci: report-html is not self-contained (script or external reference)" >&2
+  exit 1
+fi
+
+# Timeline overhead gate: a 10 Hz snapshot ticker running concurrently must
+# keep the batched-count kernel within 10% of the ticker-off baseline,
+# measured inside one snapshot. Same retry discipline as the other gates.
+pair_ok=0
+for attempt in 1 2 3; do
+  if dune exec bin/pso_audit.exe -- bench-pair "$tmp2" \
+       experiments/timeline-off-count-batched experiments/timeline-10hz-count-batched \
+       --tolerance 10; then
+    pair_ok=1
+    break
+  fi
+  if [ "$attempt" -lt 3 ]; then
+    echo "ci: timeline overhead attempt $attempt beyond tolerance; re-measuring" >&2
+    dune exec bench/main.exe -- --no-tables --only predicates --json "$tmp2" > /dev/null
+  fi
+done
+if [ "$pair_ok" -ne 1 ]; then
+  echo "ci: timeline snapshot overhead above 10% across 3 measurements" >&2
+  exit 1
+fi
+
+echo "ci: ok (build + tests + jobs-determinism + golden tables + negative auditor + obs smoke + engine check + bench kernels + audit ledger + certificates + live telemetry)"

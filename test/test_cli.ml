@@ -251,6 +251,94 @@ let test_pso_audit_validate_json_rejects_garbage () =
   Alcotest.(check bool) "error mentions the file" true
     (contains r.stderr "invalid JSON")
 
+(* --- live telemetry: --prom / --timeline / --tick-ms / report-html --- *)
+
+let test_pso_audit_live_telemetry () =
+  let prom = Filename.temp_file "cli" ".prom" in
+  let timeline = Filename.temp_file "cli" ".timeline.json" in
+  let r =
+    run
+      (pso_audit
+         [
+           "run"; "E2"; "--quick"; "--seed"; "5"; "--jobs"; "2";
+           "--prom"; prom; "--timeline"; timeline; "--tick-ms"; "50";
+         ])
+  in
+  Alcotest.(check int) "live run exits 0" 0 r.code;
+  let prom_text = read_file prom in
+  Alcotest.(check bool) "prom has TYPE headers" true
+    (contains prom_text "# TYPE pso_");
+  Alcotest.(check bool) "prom segregates timing class" true
+    (contains prom_text {|class="timing"|});
+  let tl_doc = parse_json "timeline" (read_file timeline) in
+  (match Core.Json.member "schema" tl_doc with
+  | Some (Core.Json.String s) ->
+    Alcotest.(check string) "timeline schema" "obs-timeline/v1" s
+  | _ -> Alcotest.fail "timeline schema missing");
+  (match Core.Json.member "snapshots" tl_doc with
+  | Some (Core.Json.List (_ :: _)) -> ()
+  | _ -> Alcotest.fail "timeline has no snapshots");
+  let v = run (pso_audit [ "validate-json"; prom; timeline ]) in
+  Alcotest.(check int) "validate-json accepts both artifacts" 0 v.code;
+  Alcotest.(check bool) "prom recognized as prometheus-text" true
+    (contains v.stdout "(prometheus-text)");
+  Alcotest.(check bool) "timeline recognized as obs-timeline/v1" true
+    (contains v.stdout "(obs-timeline/v1)");
+  Sys.remove prom;
+  Sys.remove timeline
+
+let test_pso_audit_tick_ms_validation () =
+  let r = run (pso_audit [ "run"; "E2"; "--quick"; "--tick-ms"; "0" ]) in
+  Alcotest.(check int) "--tick-ms 0 exits 2" 2 r.code;
+  Alcotest.(check bool) "error explains itself" true
+    (contains r.stderr "--tick-ms must be > 0")
+
+let test_pso_audit_report_html () =
+  let timeline = Filename.temp_file "cli" ".timeline.json" in
+  let metrics = Filename.temp_file "cli" ".metrics.json" in
+  let out = Filename.temp_file "cli" ".html" in
+  let gen =
+    run
+      (pso_audit
+         [
+           "run"; "E2"; "--quick"; "--seed"; "5"; "--timeline"; timeline;
+           "--metrics-json"; metrics;
+         ])
+  in
+  Alcotest.(check int) "artifact-producing run exits 0" 0 gen.code;
+  let r =
+    run
+      (pso_audit
+         [
+           "report-html"; out; "--timeline"; timeline; "--metrics-json";
+           metrics; "--title"; "cli test report";
+         ])
+  in
+  Alcotest.(check int) "report-html exits 0" 0 r.code;
+  let html = read_file out in
+  Alcotest.(check bool) "has a timeline section" true
+    (contains html {|id="timeline"|});
+  Alcotest.(check bool) "has a metrics section" true
+    (contains html {|id="metrics"|});
+  Alcotest.(check bool) "title rendered" true (contains html "cli test report");
+  Alcotest.(check bool) "self-contained: no scripts" false
+    (contains html "<script");
+  Alcotest.(check bool) "self-contained: no external links" false
+    (contains html "http://" || contains html "https://");
+  let none = run (pso_audit [ "report-html"; out ]) in
+  Alcotest.(check int) "no sources exits 2" 2 none.code;
+  Alcotest.(check bool) "missing sources explained" true
+    (contains none.stderr "at least one source");
+  let garbage = Filename.temp_file "cli" ".json" in
+  let oc = open_out garbage in
+  output_string oc "{not json";
+  close_out oc;
+  let bad = run (pso_audit [ "report-html"; out; "--timeline"; garbage ]) in
+  Alcotest.(check int) "malformed source exits 2" 2 bad.code;
+  Alcotest.(check bool) "malformed source named" true
+    (contains bad.stderr "invalid JSON");
+  List.iter Sys.remove [ timeline; metrics; out; garbage ]
+
 let test_pso_audit_dpcheck_flags_broken_case () =
   let r =
     run
@@ -314,6 +402,12 @@ let () =
             test_pso_audit_metrics_jobs_invariance;
           Alcotest.test_case "validate-json rejects garbage" `Quick
             test_pso_audit_validate_json_rejects_garbage;
+          Alcotest.test_case "live telemetry artifacts" `Slow
+            test_pso_audit_live_telemetry;
+          Alcotest.test_case "tick-ms validation" `Quick
+            test_pso_audit_tick_ms_validation;
+          Alcotest.test_case "report-html contract" `Slow
+            test_pso_audit_report_html;
         ] );
       ( "bench",
         [

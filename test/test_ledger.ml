@@ -289,6 +289,48 @@ let test_cli_ledger_verify_rejects_tampered () =
   Sys.remove garbage;
   Alcotest.(check int) "wrong schema exits 2" 2 r.code
 
+(* ledger-report --json must emit ledger-report/v1 that parses back to the
+   same per-analyst numbers the library computes from the raw events. *)
+let test_cli_ledger_report_json () =
+  let path = Filename.temp_file "report" ".jsonl" in
+  write_lines path
+    [
+      header;
+      session ~budget:(0.5, 1.0) ();
+      spend ~ts:1 ~epsilon:0.5 ~cumulative:0.5 ();
+      spend ~ts:2 ~epsilon:0.25 ~cumulative:0.75 ();
+    ];
+  let r = run (pso_audit [ "ledger-report"; path; "--json" ]) in
+  Sys.remove path;
+  Alcotest.(check int) "ledger-report --json exits 0" 0 r.code;
+  let doc =
+    match Json.of_string r.stdout with
+    | Ok d -> d
+    | Error e -> Alcotest.failf "stdout is not JSON: %s" e
+  in
+  let str k j = Option.bind (Json.member k j) Json.to_string_opt in
+  let num k j = Option.bind (Json.member k j) Json.to_float in
+  Alcotest.(check (option string))
+    "schema" (Some "ledger-report/v1") (str "schema" doc);
+  Alcotest.(check (option int))
+    "version" (Some 1)
+    (Option.bind (Json.member "version" doc) Json.to_int);
+  let analysts =
+    match Option.bind (Json.member "analysts" doc) Json.to_list with
+    | Some (_ :: _ as l) -> l
+    | Some [] -> Alcotest.fail "analysts list is empty"
+    | None -> Alcotest.fail "no analysts list"
+  in
+  let a = List.hd analysts in
+  Alcotest.(check (option string)) "analyst id" (Some "a1.0.0") (str "analyst" a);
+  Alcotest.(check (option string)) "policy" (Some "noisy") (str "policy" a);
+  Alcotest.(check (option (float 1e-9))) "eps_spent" (Some 0.75) (num "eps_spent" a);
+  Alcotest.(check (option (float 1e-9))) "eps_total" (Some 1.0) (num "eps_total" a);
+  Alcotest.(check (option (float 1e-9))) "eps_left" (Some 0.25) (num "eps_left" a);
+  Alcotest.(check (option (float 1e-9))) "cost_count" (Some 0.) (num "cost_count" a);
+  Alcotest.(check bool) "cost_p99 is null when no query costs" true
+    (Json.member "cost_p99" a = Some Json.Null)
+
 let test_cli_bench_pair () =
   let snapshot = Filename.temp_file "bench" ".json" in
   let oc = open_out snapshot in
@@ -326,6 +368,8 @@ let () =
             test_cli_ledger_jobs_invariance;
           Alcotest.test_case "ledger-verify rejects tampered" `Quick
             test_cli_ledger_verify_rejects_tampered;
+          Alcotest.test_case "ledger-report --json parse-back" `Quick
+            test_cli_ledger_report_json;
           Alcotest.test_case "bench-pair contract" `Quick test_cli_bench_pair;
         ] );
     ]

@@ -1,0 +1,340 @@
+(* Tests for the live-telemetry layer (Obs.Timeline / Prom / Report_html):
+
+   - the final capture's deterministic entries are byte-identical at
+     jobs = 1 / 2 / 4 for the same seeded workload (the timeline twin of
+     test_obs's snapshot invariance);
+   - no torn reads: a ticker capturing at 1 ms while the pool runs items
+     that bump two counters in lockstep never observes a point where the
+     two disagree — the quiescence gate drains in-flight items first;
+   - window sketches (Sketch.diff) subtract cumulative captures;
+   - Prometheus rendering passes the line-grammar validator, and
+     corrupted expositions are rejected;
+   - obs-timeline/v1 documents pass the structural validator, and
+     tampered documents are rejected;
+   - the fused HTML report is self-contained (no scripts, no external
+     references) and names every registered metric. *)
+
+let with_pool jobs f =
+  let pool = Parallel.Pool.create ~jobs () in
+  Fun.protect ~finally:(fun () -> Parallel.Pool.shutdown pool) (fun () -> f pool)
+
+let with_obs f =
+  Obs.reset ();
+  Obs.Timeline.reset ();
+  Obs.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Timeline.stop ();
+      Obs.Timeline.reset ();
+      Obs.disable ())
+    f
+
+let c_trials = Obs.Counter.make "test.timeline.trials"
+
+let c_sum = Obs.Counter.make "test.timeline.sum"
+
+let g_eps = Obs.Gauge.make "test.timeline.eps"
+
+let sk_cost = Obs.Sketchm.make "test.timeline.cost"
+
+let h_values = Obs.Histogram.make "test.timeline.values"
+
+let workload pool =
+  let rng = Prob.Rng.create ~seed:11L () in
+  let results =
+    Parallel.Trials.map pool rng ~trials:96 (fun trial_rng i ->
+        Obs.Counter.incr c_trials;
+        Obs.Counter.add c_sum i;
+        Obs.Gauge.add g_eps 0.015625;
+        Obs.Sketchm.observe sk_cost (float_of_int (1 + (i mod 7)));
+        Obs.Histogram.observe h_values (Prob.Rng.uniform trial_rng *. 50.);
+        i)
+  in
+  ignore (results : int array)
+
+(* The deterministic fingerprint of a point: cumulative fields of
+   [timing = false] entries. Deltas and rates measure "since the last
+   wall-clock-placed tick", so they join the deterministic contract only
+   when no periodic tick fired (then delta = value); these tests capture
+   manually, without a ticker, so deltas are included. *)
+let fingerprint (p : Obs.Timeline.point) =
+  let counters =
+    List.filter_map
+      (fun (c : Obs.Timeline.csample) ->
+        if c.Obs.Timeline.c_timing then None
+        else
+          Some
+            (Printf.sprintf "c:%s=%d+%d" c.Obs.Timeline.c_name
+               c.Obs.Timeline.c_value c.Obs.Timeline.c_delta))
+      p.Obs.Timeline.p_counters
+  in
+  let gauges =
+    List.filter_map
+      (fun (g : Obs.Timeline.gsample) ->
+        if g.Obs.Timeline.g_timing then None
+        else
+          Some
+            (Printf.sprintf "g:%s=%.17g" g.Obs.Timeline.g_name
+               g.Obs.Timeline.g_value))
+      p.Obs.Timeline.p_gauges
+  in
+  let hists =
+    List.filter_map
+      (fun (h : Obs.Timeline.hsample) ->
+        if h.Obs.Timeline.ph_timing then None
+        else
+          Some
+            (Printf.sprintf "h:%s=%d" h.Obs.Timeline.ph_name
+               h.Obs.Timeline.ph_count))
+      p.Obs.Timeline.p_histograms
+  in
+  let sketches =
+    List.filter_map
+      (fun (s : Obs.Timeline.ssample) ->
+        if s.Obs.Timeline.ps_timing then None
+        else
+          Some
+            (Printf.sprintf "s:%s=%d@%.17g/%.17g/%.17g" s.Obs.Timeline.ps_name
+               s.Obs.Timeline.ps_count s.Obs.Timeline.ps_p50
+               s.Obs.Timeline.ps_p95 s.Obs.Timeline.ps_p99))
+      p.Obs.Timeline.p_sketches
+  in
+  String.concat "\n" (counters @ gauges @ hists @ sketches)
+
+let final_point jobs =
+  with_obs (fun () ->
+      with_pool jobs (fun pool ->
+          workload pool;
+          Obs.Timeline.capture ~final:true ()))
+
+let test_final_jobs_invariance () =
+  let p1 = final_point 1 in
+  let p2 = final_point 2 in
+  let p4 = final_point 4 in
+  Alcotest.(check bool) "final point marked final" true p1.Obs.Timeline.final;
+  Alcotest.(check string)
+    "jobs=1 vs jobs=2" (fingerprint p1) (fingerprint p2);
+  Alcotest.(check string)
+    "jobs=1 vs jobs=4" (fingerprint p1) (fingerprint p4);
+  (* The workload actually counted: the fingerprint is not vacuous. *)
+  let trials =
+    List.find
+      (fun (c : Obs.Timeline.csample) ->
+        String.equal c.Obs.Timeline.c_name "test.timeline.trials")
+      p1.Obs.Timeline.p_counters
+  in
+  Alcotest.(check bool)
+    "trials counted" true
+    (trials.Obs.Timeline.c_value >= 96)
+
+(* Two counters bumped in lockstep inside every item, with enough work
+   between the bumps that an ungated concurrent aggregation would
+   routinely observe A ahead of B. Every captured point must see them
+   equal: the quiescence gate only reads between items. *)
+let c_lock_a = Obs.Counter.make "test.timeline.lock_a"
+
+let c_lock_b = Obs.Counter.make "test.timeline.lock_b"
+
+let test_no_torn_reads () =
+  with_obs (fun () ->
+      with_pool 4 (fun pool ->
+          Obs.Timeline.start ~period_ns:1_000_000L ();
+          let spin = ref 0. in
+          for _round = 1 to 8 do
+            ignore
+              (Parallel.Pool.parallel_init_array pool 64 (fun i ->
+                   Obs.Counter.incr c_lock_a;
+                   (* Busy work between the lockstep bumps widens the
+                      window a torn read would need to hit. *)
+                   for k = 1 to 2_000 do
+                     spin := !spin +. Float.log (float_of_int (k + i + 1))
+                   done;
+                   Obs.Counter.incr c_lock_b;
+                   i))
+          done;
+          Obs.Timeline.stop ();
+          ignore (Obs.Timeline.capture ~final:true ());
+          let points = Obs.Timeline.points () in
+          Alcotest.(check bool)
+            "captured at least the final point" true
+            (List.length points >= 1);
+          List.iter
+            (fun (p : Obs.Timeline.point) ->
+              let value name =
+                match
+                  List.find_opt
+                    (fun (c : Obs.Timeline.csample) ->
+                      String.equal c.Obs.Timeline.c_name name)
+                    p.Obs.Timeline.p_counters
+                with
+                | Some c -> c.Obs.Timeline.c_value
+                | None -> 0
+              in
+              Alcotest.(check int)
+                (Printf.sprintf "lockstep at seq %d" p.Obs.Timeline.seq)
+                (value "test.timeline.lock_a")
+                (value "test.timeline.lock_b"))
+            points;
+          let final = List.nth points (List.length points - 1) in
+          let value name =
+            match
+              List.find_opt
+                (fun (c : Obs.Timeline.csample) ->
+                  String.equal c.Obs.Timeline.c_name name)
+                final.Obs.Timeline.p_counters
+            with
+            | Some c -> c.Obs.Timeline.c_value
+            | None -> -1
+          in
+          Alcotest.(check int) "all items counted" (8 * 64)
+            (value "test.timeline.lock_a")))
+
+let test_sketch_diff () =
+  let older = Obs.Sketch.create () in
+  List.iter (Obs.Sketch.add older) [ 1.; 2.; 4. ];
+  let newer = Obs.Sketch.copy older in
+  List.iter (Obs.Sketch.add newer) [ 8.; 16.; 32.; 64. ];
+  let w = Obs.Sketch.diff ~newer ~older in
+  Alcotest.(check int) "window count" 4 (Obs.Sketch.count w);
+  let p50 = Obs.Sketch.quantile w 0.5 in
+  Alcotest.(check bool)
+    "window p50 near 16" true
+    (p50 > 12. && p50 < 20.);
+  let empty = Obs.Sketch.diff ~newer ~older:newer in
+  Alcotest.(check int) "self-diff empty" 0 (Obs.Sketch.count empty)
+
+let test_prom_round_trip () =
+  with_obs (fun () ->
+      with_pool 2 (fun pool ->
+          workload pool;
+          ignore (Obs.Timeline.capture ~final:true ());
+          let text = Obs.Prom.render (Obs.Metric.values ()) in
+          (match Obs.Prom.validate text with
+          | Ok () -> ()
+          | Error msg -> Alcotest.failf "prom validate: %s" msg);
+          Alcotest.(check bool)
+            "renders the workload counter" true
+            (let sub = "pso_test_timeline_trials_total" in
+             let rec contains i =
+               if i + String.length sub > String.length text then false
+               else String.sub text i (String.length sub) = sub || contains (i + 1)
+             in
+             contains 0);
+          Alcotest.(check bool)
+            "segregates timing class" true
+            (let sub = {|class="timing"|} in
+             let rec contains i =
+               if i + String.length sub > String.length text then false
+               else String.sub text i (String.length sub) = sub || contains (i + 1)
+             in
+             contains 0)))
+
+let test_prom_rejects_garbage () =
+  (match Obs.Prom.validate "pso_ok_total{class=\"deterministic\"} 12\n" with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "valid sample rejected: %s" msg);
+  List.iter
+    (fun bad ->
+      match Obs.Prom.validate bad with
+      | Ok () -> Alcotest.failf "accepted malformed exposition: %S" bad
+      | Error _ -> ())
+    [
+      "not a metric line at all!\n";
+      "pso_x{unterminated=\"} 1\n";
+      "pso_x 12 not_a_timestamp\n";
+      "# TYPE pso_x flavor\n";
+      "{\"looks\":\"like json\"}\n";
+    ]
+
+let test_timeline_validate () =
+  with_obs (fun () ->
+      with_pool 2 (fun pool ->
+          workload pool;
+          ignore (Obs.Timeline.capture ());
+          workload pool;
+          ignore (Obs.Timeline.capture ~final:true ());
+          let doc = Obs.Timeline.to_json () in
+          (match Obs.Timeline.validate doc with
+          | Ok () -> ()
+          | Error msg -> Alcotest.failf "timeline validate: %s" msg);
+          (* Canonical JSON round-trip preserves validity. *)
+          (match Json.of_string (Json.to_string doc) with
+          | Ok doc' -> (
+            match Obs.Timeline.validate doc' with
+            | Ok () -> ()
+            | Error msg -> Alcotest.failf "round-tripped validate: %s" msg)
+          | Error msg -> Alcotest.failf "round-trip parse: %s" msg);
+          (* Tampering is rejected. *)
+          let drop_field name = function
+            | Json.Obj kvs ->
+              Json.Obj (List.filter (fun (k, _) -> k <> name) kvs)
+            | j -> j
+          in
+          (match Obs.Timeline.validate (drop_field "schema" doc) with
+          | Ok () -> Alcotest.fail "accepted document without schema"
+          | Error _ -> ());
+          match Obs.Timeline.validate (drop_field "snapshots" doc) with
+          | Ok () -> Alcotest.fail "accepted document without snapshots"
+          | Error _ -> ()))
+
+let test_report_html_self_contained () =
+  with_obs (fun () ->
+      with_pool 2 (fun pool ->
+          workload pool;
+          ignore (Obs.Timeline.capture ());
+          workload pool;
+          ignore (Obs.Timeline.capture ~final:true ());
+          let timeline = Obs.Timeline.to_json () in
+          let metrics =
+            Obs.Export.metrics_json (Obs.snapshot ~jobs:2 ())
+          in
+          let html =
+            Obs.Report_html.render ~timeline ~metrics ~title:"test report" ()
+          in
+          let contains sub =
+            let rec go i =
+              if i + String.length sub > String.length html then false
+              else String.sub html i (String.length sub) = sub || go (i + 1)
+            in
+            go 0
+          in
+          List.iter
+            (fun sub ->
+              Alcotest.(check bool)
+                (Printf.sprintf "contains %S" sub)
+                true (contains sub))
+            [
+              {|id="timeline"|};
+              {|id="metrics"|};
+              "<svg";
+              "test.timeline.trials";
+              "test.timeline.eps";
+              "test.timeline.cost";
+              "test.timeline.values";
+            ];
+          List.iter
+            (fun sub ->
+              Alcotest.(check bool)
+                (Printf.sprintf "free of %S" sub)
+                false (contains sub))
+            [ "<script"; "http://"; "https://"; "src="; "href=" ]))
+
+let () =
+  Alcotest.run "timeline"
+    [
+      ( "timeline",
+        [
+          Alcotest.test_case "final capture jobs invariance" `Slow
+            test_final_jobs_invariance;
+          Alcotest.test_case "no torn reads under ticking" `Slow
+            test_no_torn_reads;
+          Alcotest.test_case "sketch window diff" `Quick test_sketch_diff;
+          Alcotest.test_case "prom round-trip" `Quick test_prom_round_trip;
+          Alcotest.test_case "prom rejects garbage" `Quick
+            test_prom_rejects_garbage;
+          Alcotest.test_case "timeline validates and rejects tampering" `Quick
+            test_timeline_validate;
+          Alcotest.test_case "report html self-contained" `Quick
+            test_report_html_self_contained;
+        ] );
+    ]
