@@ -287,14 +287,97 @@ let predicate_kernel_tests () =
            bcheck (Query.Predicate.count_many btable bcs)));
   ]
 
+(* The linalg kernel quartet. spmv-dense / spmv-sparse multiply the same
+   subset-query-shaped 512x4096 system (~2% density) through the dense
+   row-major loop and the CSR C kernel; the results are checked bitwise
+   identical every run, and CI gates the sparse side at >= 10x faster
+   (scripts/ci.sh, pso_audit bench-pair --min-ratio). The census pair
+   solves one fixed suppressed block cold and warm-started from a
+   neighboring block's raked relaxed solution — the per-block unit of the
+   E14 scale-out. *)
+let spmv_rows = 512
+
+let spmv_cols = 4096
+
+let spmv_fixture =
+  lazy
+    (let rng = Prob.Rng.create ~seed:81L () in
+     let per_row = spmv_cols / 50 in
+     let query =
+       Array.init spmv_rows (fun _ ->
+           let seen = Hashtbl.create (2 * per_row) in
+           let rec draw k acc =
+             if k = 0 then acc
+             else
+               let j = Prob.Rng.int rng spmv_cols in
+               if Hashtbl.mem seen j then draw k acc
+               else begin
+                 Hashtbl.add seen j ();
+                 draw (k - 1) (j :: acc)
+               end
+           in
+           Array.of_list (draw per_row []))
+     in
+     let dense = Linalg.Matrix.of_subset_queries ~query ~n:spmv_cols in
+     let sparse = Linalg.Sparse.of_subset_queries ~query ~n:spmv_cols in
+     let x = Array.init spmv_cols (fun j -> float_of_int ((j mod 13) - 6) /. 3.) in
+     (dense, sparse, x))
+
+let census_solve_fixture =
+  lazy
+    (let rng = Prob.Rng.create ~seed:82L () in
+     let mean_block_size = 40 in
+     let tab b =
+       let people = Dataset.Synth.census_block rng ~block:b ~mean_block_size in
+       Attacks.Census_scale.suppress ~threshold:3
+         (Attacks.Census.tabulate_block ~block:b people)
+     in
+     let neighbor = tab 0 in
+     let sup = tab 1 in
+     let sol = Attacks.Census_scale.solve_block neighbor in
+     let x0 =
+       Attacks.Census_scale.warm_seed sup sol.Attacks.Census_scale.relaxed
+     in
+     (sup, x0))
+
+let linalg_kernel_tests () =
+  let dense, sparse, x = Lazy.force spmv_fixture in
+  let expected = Linalg.Matrix.mul_vec dense x in
+  let check got =
+    let n = Array.length expected in
+    if Array.length got <> n then failwith "spmv kernel: dimension mismatch";
+    for i = 0 to n - 1 do
+      if Int64.bits_of_float got.(i) <> Int64.bits_of_float expected.(i) then
+        failwith "spmv kernel: sparse and dense disagree"
+    done
+  in
+  let sup, x0 = Lazy.force census_solve_fixture in
+  [
+    Test.make ~name:"spmv-dense"
+      (Staged.stage (fun () -> check (Linalg.Matrix.mul_vec dense x)));
+    Test.make ~name:"spmv-sparse"
+      (Staged.stage (fun () -> check (Linalg.Sparse.mul_vec sparse x)));
+    Test.make ~name:"census-block-solve-cold"
+      (Staged.stage (fun () -> ignore (Attacks.Census_scale.solve_block sup)));
+    Test.make ~name:"census-block-solve-warm"
+      (Staged.stage (fun () ->
+           ignore (Attacks.Census_scale.solve_block ~x0 sup)));
+  ]
+
 let predicates_only only =
   match only with
   | Some s -> String.lowercase_ascii s = "predicates"
   | None -> false
 
+let linalg_only only =
+  match only with
+  | Some s -> String.lowercase_ascii s = "linalg"
+  | None -> false
+
 let perf_benchmarks ~only ~json ~jobs () =
   let tests =
     if predicates_only only then predicate_kernel_tests ()
+    else if linalg_only only then linalg_kernel_tests ()
     else
       Experiments.Registry.all
       |> List.filter (selected only)
@@ -309,7 +392,9 @@ let perf_benchmarks ~only ~json ~jobs () =
   (* --only narrows to one experiment kernel or the predicate triple (a
      contract test_json pins); the extras ride along only on full runs. *)
   let tests =
-    if only = None then tests @ predicate_kernel_tests () @ obs_overhead_tests ()
+    if only = None then
+      tests @ predicate_kernel_tests () @ linalg_kernel_tests ()
+      @ obs_overhead_tests ()
     else tests
   in
   let grouped = Test.make_grouped ~name:"experiments" tests in
@@ -372,7 +457,7 @@ let () =
       ("--no-perf", Arg.Clear perf, "skip the Bechamel timings");
       ( "--only",
         Arg.String (fun s -> only := Some s),
-        "run a single experiment id ('predicates' selects the query-engine kernel triple)" );
+        "run a single experiment id ('predicates' selects the query-engine kernels, 'linalg' the SpMV + census-solve kernels)" );
       ("--jobs", Arg.Set_int jobs, "worker domains for Monte Carlo trials (default: cores - 1)");
       ( "--speedup",
         Arg.Set speedup,
@@ -417,7 +502,9 @@ let () =
   end;
   (match !only with
   | Some id
-    when (not (predicates_only !only)) && Experiments.Registry.find id = None ->
+    when (not (predicates_only !only))
+         && (not (linalg_only !only))
+         && Experiments.Registry.find id = None ->
     Format.eprintf "bench: unknown experiment id %s (valid: %s)@." id
       (String.concat ", "
          (List.map

@@ -8,7 +8,8 @@
      report       print the full legal-technical report
      dpcheck      empirically audit the eps-DP mechanisms (Definition 1.2)
      certify      mechanically verify the eps-DP coupling certificates
-     experiment   run one of E1..E13 (or `all`)
+     experiment   run one of E1..E14 (or `all`)
+     census       census-scale sharded reconstruction (streaming tabulation)
      run          alias for experiment with explicit --quick/--full scale
      validate-json  parse JSON files written by --trace / --metrics-json
 
@@ -767,7 +768,7 @@ let run_experiments ~seed ~jobs ~engine ~scale ~obs id =
       match Experiments.Registry.find id with
       | Some e -> [ e ]
       | None ->
-        Format.eprintf "unknown experiment %S (expected E1..E13 or all)@." id;
+        Format.eprintf "unknown experiment %S (expected E1..E14 or all)@." id;
         exit 2
   in
   exit_with @@ with_obs obs
@@ -781,7 +782,7 @@ let run_experiments ~seed ~jobs ~engine ~scale ~obs id =
   0
 
 let id_arg =
-  Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc:"E1..E13 or all.")
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc:"E1..E14 or all.")
 
 let full_arg =
   Arg.(value & flag & info [ "full" ] ~doc:"Full-scale parameters (slower).")
@@ -823,6 +824,128 @@ let run_cmd =
     Term.(
       const run $ seed_arg $ jobs_arg $ engine_arg $ quick_arg $ full_arg
       $ id_arg $ obs_term)
+
+(* --- census --- *)
+
+let census_cmd =
+  let run seed jobs blocks mean_block_size shards threshold cold shave
+      materialize obs =
+    set_jobs jobs;
+    if blocks < 1 || mean_block_size < 1 || shards < 1 then begin
+      Format.eprintf
+        "pso_audit: census: --blocks, --mean-block-size and --shards must \
+         all be >= 1@.";
+      exit 2
+    end;
+    if threshold < 0 then begin
+      Format.eprintf "pso_audit: census: --suppress must be >= 0 (got %d)@."
+        threshold;
+      exit 2
+    end;
+    exit_with @@ with_obs obs
+    @@ fun () ->
+    let module Cs = Attacks.Census_scale in
+    let cfg =
+      {
+        Cs.blocks;
+        mean_block_size;
+        shards;
+        threshold;
+        warm_start = not cold;
+        shave;
+      }
+    in
+    let rng = rng_of_seed seed in
+    let t0 = Obs.now_ns () in
+    let stats = Cs.run ~materialize cfg rng in
+    let dt_ns = Int64.to_float (Int64.sub (Obs.now_ns ()) t0) in
+    Format.printf "census: %d blocks (mean size %d) over %d shards%s%s@."
+      blocks mean_block_size shards
+      (if materialize then " [materialized]" else " [streaming]")
+      (if cold then " [cold]" else " [warm-started]");
+    Format.printf "  population          %d@." stats.Cs.population;
+    Format.printf "  records             %d@." stats.Cs.records;
+    Format.printf "  solved blocks       %d (%d converged)@."
+      stats.Cs.solved_blocks stats.Cs.converged_blocks;
+    Format.printf "  suppressed cells    %d (threshold %d)@."
+      stats.Cs.suppressed_cells threshold;
+    Format.printf "  fixed cells         %d@." stats.Cs.fixed_cells;
+    Format.printf "  joint match rate    %.4f@." (Cs.match_rate stats);
+    Format.printf "  sex-age match rate  %.4f@." (Cs.sex_age_rate stats);
+    Format.printf "  solves              %d (%d warm-started)@." stats.Cs.solves
+      stats.Cs.warm_solves;
+    Format.printf "  iterations          %d (%d in warm solves)@."
+      stats.Cs.iterations stats.Cs.warm_iterations;
+    (* Throughput is wall-clock: stderr only, so stdout stays deterministic
+       for a fixed seed and shard count. *)
+    if dt_ns > 0. then
+      Printf.eprintf "census: %.0f rows/sec\n%!"
+        (float_of_int stats.Cs.records /. (dt_ns /. 1e9));
+    0
+  in
+  let blocks_arg =
+    Arg.(
+      value & opt int 200
+      & info [ "blocks" ] ~docv:"N" ~doc:"Number of census blocks to stream.")
+  in
+  let mean_arg =
+    Arg.(
+      value & opt int 30
+      & info [ "mean-block-size" ] ~docv:"N"
+          ~doc:"Mean people per block (geometric, always >= 1).")
+  in
+  let shards_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "shards" ] ~docv:"K"
+          ~doc:
+            "Fixed fan-out unit the blocks are dealt across. Part of the \
+             scenario: results depend on it (one generator per shard), but \
+             never on --jobs.")
+  in
+  let threshold_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "suppress" ] ~docv:"T"
+          ~doc:
+            "Suppression threshold: marginal counts under T are withheld \
+             and published as intervals. 0 publishes everything exactly.")
+  in
+  let cold_arg =
+    Arg.(
+      value & flag
+      & info [ "cold" ]
+          ~doc:
+            "Disable neighbor warm-starting; every block solves from the \
+             interval midpoint seed.")
+  in
+  let shave_arg =
+    Arg.(
+      value & flag
+      & info [ "shave" ]
+          ~doc:
+            "Sharpen interval propagation with per-cell branch-and-bound \
+             before solving (slower, pins more cells).")
+  in
+  let materialize_arg =
+    Arg.(
+      value & flag
+      & info [ "materialize" ]
+          ~doc:
+            "Build the whole population up front and tabulate it in one \
+             pass (the memory-heavy reference path) instead of streaming \
+             block by block. Stats are identical to streaming.")
+  in
+  Cmd.v
+    (Cmd.info "census"
+       ~doc:
+         "Census-scale sharded reconstruction: stream synthetic blocks \
+          through suppression, interval propagation and warm-started sparse \
+          least squares without materializing the population (Section 1 at \
+          scale; E14 is the golden-pinned variant).")
+    Term.(
+      const run $ seed_arg $ jobs_arg $ blocks_arg $ mean_arg $ shards_arg
+      $ threshold_arg $ cold_arg $ shave_arg $ materialize_arg $ obs_term)
 
 (* --- validate-json --- *)
 
@@ -1271,11 +1394,16 @@ let bench_compare_cmd =
    kernels of the *same* run, which bench-compare (two files, same
    kernel) cannot express. *)
 let bench_pair_cmd =
-  let run snapshot base current tolerance =
+  let run snapshot base current tolerance min_ratio =
     if tolerance < 0. then begin
       Format.eprintf "pso_audit: --tolerance must be >= 0 (got %g)@." tolerance;
       exit 2
     end;
+    (match min_ratio with
+    | Some r when r <= 0. ->
+      Format.eprintf "pso_audit: --min-ratio must be > 0 (got %g)@." r;
+      exit 2
+    | _ -> ());
     let rows = read_bench_snapshot snapshot in
     let find name =
       match List.assoc_opt name rows with
@@ -1288,15 +1416,24 @@ let bench_pair_cmd =
     let b_ns = find base in
     let c_ns = find current in
     let delta = 100. *. ((c_ns /. b_ns) -. 1.) in
+    let ratio = b_ns /. c_ns in
     Format.printf
       "bench-pair: %s: %s (%.2f us) -> %s (%.2f us)  %+.1f%% (tolerance \
-       %+g%%)@."
-      snapshot base (b_ns /. 1e3) current (c_ns /. 1e3) delta tolerance;
+       %+g%%%s)@."
+      snapshot base (b_ns /. 1e3) current (c_ns /. 1e3) delta tolerance
+      (match min_ratio with
+      | None -> ""
+      | Some r -> Printf.sprintf ", min ratio %gx" r);
     if delta > tolerance then begin
       Format.printf "overhead beyond tolerance@.";
       exit 1
-    end
-    else Format.printf "within tolerance@."
+    end;
+    match min_ratio with
+    | Some r when ratio < r ->
+      Format.printf "speedup %.2fx below the required %gx@." ratio r;
+      exit 1
+    | Some r -> Format.printf "speedup %.2fx (>= %gx required)@." ratio r
+    | None -> Format.printf "within tolerance@."
   in
   let snapshot_arg =
     Arg.(
@@ -1322,13 +1459,26 @@ let bench_pair_cmd =
       & info [ "tolerance" ] ~docv:"PCT"
           ~doc:"Allowed slowdown of CURRENT over BASE in percent.")
   in
+  let min_ratio_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "min-ratio" ] ~docv:"R"
+          ~doc:
+            "Speedup gate: additionally require CURRENT to be at least R \
+             times faster than BASE (BASE_ns / CURRENT_ns >= R), e.g. the \
+             sparse-vs-dense SpMV gate uses --min-ratio 10.")
+  in
   Cmd.v
     (Cmd.info "bench-pair"
        ~doc:
          "Compare two kernels within one bench-kernels/v1 snapshot; exits 1 \
-          when CURRENT is slower than BASE by more than the tolerance, 2 on \
-          malformed input or unknown kernels.")
-    Term.(const run $ snapshot_arg $ base_arg $ current_arg $ tolerance_arg)
+          when CURRENT is slower than BASE by more than the tolerance or \
+          misses the --min-ratio speedup, 2 on malformed input or unknown \
+          kernels.")
+    Term.(
+      const run $ snapshot_arg $ base_arg $ current_arg $ tolerance_arg
+      $ min_ratio_arg)
 
 let () =
   let doc = "singling-out: PSO games, attacks and legal theorems (PODS 2021)" in
@@ -1337,7 +1487,8 @@ let () =
        (Cmd.group (Cmd.info "pso_audit" ~version:Core.version ~doc)
           [
             synth_cmd; anonymize_cmd; game_cmd; audit_cmd; theorems_cmd; report_cmd;
-            dpcheck_cmd; certify_cmd; experiment_cmd; run_cmd; validate_json_cmd;
+            dpcheck_cmd; certify_cmd; experiment_cmd; run_cmd; census_cmd;
+            validate_json_cmd;
             ledger_verify_cmd; ledger_report_cmd; report_html_cmd;
             bench_compare_cmd;
             bench_pair_cmd;

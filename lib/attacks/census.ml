@@ -14,30 +14,37 @@ let bump table key =
 let sorted_assoc table =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) table [] |> List.sort compare
 
+let tabulate_block ~block members =
+  let ages = Hashtbl.create 16
+  and sex_bucket = Hashtbl.create 16
+  and race_eth = Hashtbl.create 16 in
+  Array.iter
+    (fun p ->
+      bump ages p.Synth.age;
+      bump sex_bucket (p.Synth.sex, p.Synth.age / 10);
+      bump race_eth (p.Synth.race, p.Synth.ethnicity))
+    members;
+  {
+    block;
+    total = Array.length members;
+    age_histogram = sorted_assoc ages;
+    sex_by_bucket = sorted_assoc sex_bucket;
+    race_eth = sorted_assoc race_eth;
+  }
+
 let tabulate people =
   let max_block =
     Array.fold_left (fun acc p -> max acc p.Synth.block) (-1) people
   in
-  Array.init (max_block + 1) (fun block ->
-      let members =
-        Array.to_list people |> List.filter (fun p -> p.Synth.block = block)
-      in
-      let ages = Hashtbl.create 16
-      and sex_bucket = Hashtbl.create 16
-      and race_eth = Hashtbl.create 16 in
-      List.iter
-        (fun p ->
-          bump ages p.Synth.age;
-          bump sex_bucket (p.Synth.sex, p.Synth.age / 10);
-          bump race_eth (p.Synth.race, p.Synth.ethnicity))
-        members;
-      {
-        block;
-        total = List.length members;
-        age_histogram = sorted_assoc ages;
-        sex_by_bucket = sorted_assoc sex_bucket;
-        race_eth = sorted_assoc race_eth;
-      })
+  (* Single pass: bucket once instead of rescanning the whole population per
+     block (the old O(people × blocks) scan). The tables are pure counts, so
+     the output is identical. *)
+  let buckets = Array.make (max_block + 1) [] in
+  Array.iter (fun p -> buckets.(p.Synth.block) <- p :: buckets.(p.Synth.block)) people;
+  Array.mapi
+    (fun block members ->
+      tabulate_block ~block (Array.of_list (List.rev members)))
+    buckets
 
 let protect rng ~epsilon tables =
   if epsilon <= 0. then invalid_arg "Census.protect: epsilon";

@@ -22,7 +22,14 @@ type published = {
 }
 
 val tabulate : Dataset.Synth.census_person array -> published array
-(** One table set per block id (dense from 0 to max block). *)
+(** One table set per block id (dense from 0 to max block). Single pass over
+    the population. *)
+
+val tabulate_block : block:int -> Dataset.Synth.census_person array -> published
+(** Tables for one block's members — the streaming unit: generate a block
+    with {!Dataset.Synth.census_block}, tabulate it, drop the microdata.
+    [tabulate] over a full population yields exactly [tabulate_block] of
+    each block's members. *)
 
 val protect : Prob.Rng.t -> epsilon:float -> published array -> published array
 (** The post-2010 fix, in miniature: republish every table with two-sided

@@ -102,9 +102,12 @@ let least_squares rng oracle ~queries ~truth =
   let n = Query.Oracle.n oracle in
   let qs = random_queries rng ~queries n in
   let answers = Query.Oracle.ask_many oracle qs in
-  let a = Linalg.Matrix.of_subset_queries ~query:qs ~n in
+  (* CSR instead of a dense m×n materialization: the kernels accumulate in
+     the same order as the dense loops, so the solution (and the E1 golden)
+     is bit-identical — only the memory and the per-iteration work shrink. *)
+  let a = Linalg.Sparse.of_subset_queries ~query:qs ~n in
   let z =
-    Linalg.Lsq.solve_box
+    Linalg.Lsq.solve_box_sparse
       ~options:{ Linalg.Lsq.max_iter = 2000; tolerance = 1e-10 }
       a answers ~lo:0. ~hi:1.
   in
@@ -123,23 +126,26 @@ let lp_decode rng oracle ~queries ~truth =
      the solver starts from the feasible basis z = 0, p = a (no phase 1). *)
   let nv = n + (2 * t) in
   let objective = Array.init nv (fun j -> if j >= n then 1. else 0.) in
-  let residual_rows =
-    List.init t (fun qi ->
-        let row = Array.make nv 0. in
-        Array.iter (fun i -> row.(i) <- 1.) qs.(qi);
-        row.(n + (2 * qi)) <- 1.;
-        row.(n + (2 * qi) + 1) <- -1.;
-        (row, Linalg.Simplex.Eq, answers.(qi)))
+  (* One accumulator pass, consed in reverse (box rows first), instead of
+     two List.init's joined with [@] — same constraint order, no re-cons of
+     the residual block. *)
+  let constraints =
+    let acc = ref [] in
+    for i = n - 1 downto 0 do
+      let row = Array.make nv 0. in
+      row.(i) <- 1.;
+      acc := (row, Linalg.Simplex.Le, 1.) :: !acc
+    done;
+    for qi = t - 1 downto 0 do
+      let row = Array.make nv 0. in
+      Array.iter (fun i -> row.(i) <- 1.) qs.(qi);
+      row.(n + (2 * qi)) <- 1.;
+      row.(n + (2 * qi) + 1) <- -1.;
+      acc := (row, Linalg.Simplex.Eq, answers.(qi)) :: !acc
+    done;
+    !acc
   in
-  let box_rows =
-    List.init n (fun i ->
-        let row = Array.make nv 0. in
-        row.(i) <- 1.;
-        (row, Linalg.Simplex.Le, 1.))
-  in
-  let problem =
-    { Linalg.Simplex.objective; constraints = residual_rows @ box_rows }
-  in
+  let problem = { Linalg.Simplex.objective; constraints } in
   let estimate =
     match Linalg.Simplex.solve problem with
     | Linalg.Simplex.Optimal { x; _ } ->

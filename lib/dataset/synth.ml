@@ -248,6 +248,36 @@ let census_population rng ~blocks ~mean_block_size =
   done;
   Array.of_list (List.rev !out)
 
+let census_race_dist =
+  Prob.Distribution.of_weights
+    [ (0, 0.60); (1, 0.13); (2, 0.06); (3, 0.09); (4, 0.03); (5, 0.09) ]
+
+let census_block rng ~block ~mean_block_size =
+  if block < 0 || mean_block_size <= 0 then invalid_arg "Synth.census_block";
+  let size = 1 + Prob.Sampler.geometric rng ~p:(1. /. float_of_int mean_block_size) in
+  let dominant_race = Prob.Distribution.sample rng census_race_dist in
+  let block_eth_rate = if Prob.Sampler.bernoulli rng ~p:0.2 then 0.6 else 0.05 in
+  Array.init size (fun i ->
+      let first = first_names.(Prob.Rng.int rng (Array.length first_names)) in
+      let last = last_names.(Prob.Rng.int rng (Array.length last_names)) in
+      let sex = Prob.Rng.int rng 2 in
+      let age = Prob.Rng.int rng 100 in
+      let race =
+        if Prob.Sampler.bernoulli rng ~p:0.85 then dominant_race
+        else Prob.Distribution.sample rng census_race_dist
+      in
+      let ethnicity =
+        if Prob.Sampler.bernoulli rng ~p:block_eth_rate then 1 else 0
+      in
+      {
+        block;
+        sex;
+        age;
+        race;
+        ethnicity;
+        person_name = Printf.sprintf "%s %s #%d-%d" first last block i;
+      })
+
 type genotypes = {
   frequencies : float array;
   pool : bool array array;

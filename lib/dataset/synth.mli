@@ -91,6 +91,16 @@ val census_population :
 (** Block sizes are geometric-ish around the mean (minimum 1), mimicking the
     small-block regime where reconstruction bites hardest. *)
 
+val census_block :
+  Prob.Rng.t -> block:int -> mean_block_size:int -> census_person array
+(** One block of the same statistical model as {!census_population}, drawn
+    entirely from the given generator — the streaming building block for
+    census-scale runs. Handing block [b] a dedicated child generator (split
+    deterministically from a parent) makes a multi-million-person population
+    generable block-by-block, in any order, with peak memory one block:
+    {!Attacks.Census_scale} tabulates and solves each block and drops it.
+    Names are unique within a run ([#block-index] suffix). *)
+
 (** {1 Genotype aggregates (Homer story)} *)
 
 type genotypes = {

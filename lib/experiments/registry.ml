@@ -101,6 +101,12 @@ let all =
       print = E13_synthetic.print;
       kernel = E13_synthetic.kernel;
     };
+    {
+      id = "E14";
+      title = "Census-scale sharded reconstruction (streaming)";
+      print = E14_scale.print;
+      kernel = E14_scale.kernel;
+    };
   ]
 
 let find id =

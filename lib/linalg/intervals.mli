@@ -1,0 +1,75 @@
+(** Interval constraint propagation and branch-and-bound refinement.
+
+    The census publication model hides small counts (cells below a
+    suppression threshold are not released), so a reconstruction attacker
+    faces a system of interval constraints [blo_r ≤ (A x)_r ≤ bhi_r] rather
+    than exact equations. This module tightens per-variable boxes against
+    such a system: plain interval propagation to a fixpoint, and a budgeted
+    branch-and-bound "shave" that discards integer endpoint values it can
+    prove infeasible.
+
+    Both refinements are sound: they never exclude any integer point that
+    satisfies all row constraints, so the true solution always stays inside
+    the box (the property test checks exactly this). Rows must have
+    nonnegative coefficients — subset-count matrices are 0/1. *)
+
+type t = { lo : float array; hi : float array }
+(** Per-variable inclusive bounds. *)
+
+val make : n:int -> lo:float -> hi:float -> t
+
+val copy : t -> t
+
+val width : t -> int -> float
+
+val is_fixed : t -> int -> bool
+(** The variable's interval contains a single point. *)
+
+val fixed_count : t -> int
+
+val propagate :
+  ?integral:bool ->
+  ?max_passes:int ->
+  Sparse.t ->
+  row_lo:float array ->
+  row_hi:float array ->
+  t ->
+  [ `Bounded of t | `Empty of int ]
+(** [propagate a ~row_lo ~row_hi box] tightens [box] against
+    [row_lo ≤ A x ≤ row_hi] by iterating the row rule: with
+    [S_lo = Σ_j a_rj·lo_j] and [S_hi = Σ_j a_rj·hi_j] over row [r],
+
+      [x_j ≥ (row_lo_r − (S_hi − a_rj·hi_j)) / a_rj]
+      [x_j ≤ (row_hi_r − (S_lo − a_rj·lo_j)) / a_rj]
+
+    until a fixpoint (or [max_passes], default 50). With [~integral:true]
+    (default) the bounds also round inward to integers. Returns [`Empty j]
+    when variable [j]'s interval became empty — the constraints are
+    mutually unsatisfiable. The input box is not mutated. *)
+
+val feasible :
+  ?budget:int ->
+  Sparse.t ->
+  row_lo:float array ->
+  row_hi:float array ->
+  t ->
+  bool
+(** [feasible a ~row_lo ~row_hi box] searches for an integer point of [box]
+    satisfying the row intervals, by depth-first branching on the widest
+    variable with propagation at every node. The search is budgeted
+    ([budget] propagation calls, default 2000); when the budget runs out the
+    answer is [true] ("not proven infeasible"), so a [false] is a proof. *)
+
+val shave :
+  ?budget:int ->
+  Sparse.t ->
+  row_lo:float array ->
+  row_hi:float array ->
+  t ->
+  t
+(** [shave a ~row_lo ~row_hi box] tightens integer endpoints by refutation:
+    for each variable, if fixing it to its lower (upper) endpoint is proven
+    infeasible by {!feasible}, the endpoint moves inward, repeating while
+    the proof succeeds. Sound for the same reason {!feasible} is: an
+    endpoint is only removed with an infeasibility proof. The [budget]
+    (default 2000) is shared across the whole shave. *)

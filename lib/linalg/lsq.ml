@@ -2,16 +2,61 @@ type options = { max_iter : int; tolerance : float }
 
 let default_options = { max_iter = 500; tolerance = 1e-9 }
 
+type op = {
+  op_rows : int;
+  op_cols : int;
+  apply : Vector.t -> Vector.t;
+  tapply : Vector.t -> Vector.t;
+}
+
+let of_matrix a =
+  {
+    op_rows = Matrix.rows a;
+    op_cols = Matrix.cols a;
+    apply = Matrix.mul_vec a;
+    tapply = Matrix.tmul_vec a;
+  }
+
+let of_sparse a =
+  {
+    op_rows = Sparse.rows a;
+    op_cols = Sparse.cols a;
+    apply = Sparse.mul_vec a;
+    tapply = Sparse.tmul_vec a;
+  }
+
+type solution = { x : Vector.t; iterations : int; converged : bool }
+
 let c_iters = Obs.Counter.make "linalg.lsq_iterations"
 
-let conjugate_gradient ?(options = default_options) apply b =
+let c_cold_iters = Obs.Counter.make "linalg.lsq_cold_iterations"
+
+let c_warm_iters = Obs.Counter.make "linalg.lsq_warm_iterations"
+
+let c_warm_starts = Obs.Counter.make "linalg.lsq_warm_starts"
+
+let record_iters ~warm iters =
+  Obs.Counter.add c_iters iters;
+  if warm then begin
+    Obs.Counter.incr c_warm_starts;
+    Obs.Counter.add c_warm_iters iters
+  end
+  else Obs.Counter.add c_cold_iters iters
+
+let cg ?(options = default_options) ?x0 apply b =
   let n = Vector.dim b in
-  let x = Vector.create n 0. in
-  let r = Vector.copy b in
-  let p = Vector.copy b in
+  let x, r =
+    match x0 with
+    | None -> (Vector.create n 0., Vector.copy b)
+    | Some x0 ->
+      if Vector.dim x0 <> n then invalid_arg "Lsq.cg: x0 dimension mismatch";
+      (Vector.copy x0, Vector.sub b (apply x0))
+  in
+  let p = Vector.copy r in
   let rs_old = ref (Vector.dot r r) in
   let iter = ref 0 in
-  let continue_ = ref (!rs_old > options.tolerance *. options.tolerance) in
+  let converged = ref (!rs_old <= options.tolerance *. options.tolerance) in
+  let continue_ = ref (not !converged) in
   while !continue_ && !iter < options.max_iter do
     let ap = apply p in
     let pap = Vector.dot p ap in
@@ -21,7 +66,10 @@ let conjugate_gradient ?(options = default_options) apply b =
       Vector.axpy alpha p x;
       Vector.axpy (-.alpha) ap r;
       let rs_new = Vector.dot r r in
-      if Float.sqrt rs_new < options.tolerance then continue_ := false
+      if Float.sqrt rs_new < options.tolerance then begin
+        converged := true;
+        continue_ := false
+      end
       else begin
         let beta = rs_new /. !rs_old in
         for i = 0 to n - 1 do
@@ -32,16 +80,18 @@ let conjugate_gradient ?(options = default_options) apply b =
       incr iter
     end
   done;
-  Obs.Counter.add c_iters !iter;
-  x
+  record_iters ~warm:(x0 <> None) !iter;
+  { x; iterations = !iter; converged = !converged }
+
+let conjugate_gradient ?options ?x0 apply b = (cg ?options ?x0 apply b).x
 
 (* Largest singular value of A, squared, via power iteration on AᵀA. *)
-let lipschitz a =
-  let n = Matrix.cols a in
+let lipschitz_op o =
+  let n = o.op_cols in
   let v = ref (Array.init n (fun i -> 1. /. Float.sqrt (float_of_int (max n 1)) +. (0.001 *. float_of_int i))) in
   let lambda = ref 1. in
   for _ = 1 to 50 do
-    let w = Matrix.tmul_vec a (Matrix.mul_vec a !v) in
+    let w = o.tapply (o.apply !v) in
     let norm = Vector.norm2 w in
     if norm > 0. then begin
       lambda := norm;
@@ -54,20 +104,57 @@ let residual a z b =
   let r = Vector.sub (Matrix.mul_vec a z) b in
   Vector.dot r r
 
-let solve_box ?(options = default_options) a b ~lo ~hi =
-  if hi < lo then invalid_arg "Lsq.solve_box: empty box";
-  let n = Matrix.cols a in
-  let step = 1. /. lipschitz a in
-  let z = ref (Vector.create n ((lo +. hi) /. 2.)) in
+let residual_op o z b =
+  let r = Vector.sub (o.apply z) b in
+  Vector.dot r r
+
+let clamp_into ~lo ~hi v =
+  let n = Array.length v in
+  Array.init n (fun i ->
+      let x = v.(i) in
+      if x < lo.(i) then lo.(i) else if x > hi.(i) then hi.(i) else x)
+
+let box ?(options = default_options) ?x0 o b ~lo ~hi =
+  let n = o.op_cols in
+  if Vector.dim lo <> n || Vector.dim hi <> n then
+    invalid_arg "Lsq.box: bound dimension mismatch";
+  for i = 0 to n - 1 do
+    if hi.(i) < lo.(i) then invalid_arg "Lsq.box: empty box"
+  done;
+  let step = 1. /. lipschitz_op o in
+  let z =
+    ref
+      (match x0 with
+      | Some z0 ->
+        if Vector.dim z0 <> n then invalid_arg "Lsq.box: x0 dimension mismatch";
+        clamp_into ~lo ~hi z0
+      | None -> Array.init n (fun i -> (lo.(i) +. hi.(i)) /. 2.))
+  in
   let iter = ref 0 in
+  let converged = ref false in
   let continue_ = ref true in
   while !continue_ && !iter < options.max_iter do
-    let grad = Matrix.tmul_vec a (Vector.sub (Matrix.mul_vec a !z) b) in
-    let next = Vector.clamp ~lo ~hi (Vector.sub !z (Vector.scale step grad)) in
+    let grad = o.tapply (Vector.sub (o.apply !z) b) in
+    let next = clamp_into ~lo ~hi (Vector.sub !z (Vector.scale step grad)) in
     let moved = Vector.norm2 (Vector.sub next !z) in
     z := next;
-    if moved < options.tolerance then continue_ := false;
+    if moved < options.tolerance then begin
+      converged := true;
+      continue_ := false
+    end;
     incr iter
   done;
-  Obs.Counter.add c_iters !iter;
-  !z
+  record_iters ~warm:(x0 <> None) !iter;
+  { x = !z; iterations = !iter; converged = !converged }
+
+let solve_box ?options ?x0 a b ~lo ~hi =
+  if hi < lo then invalid_arg "Lsq.solve_box: empty box";
+  let n = Matrix.cols a in
+  let lo_v = Vector.create n lo and hi_v = Vector.create n hi in
+  (box ?options ?x0 (of_matrix a) b ~lo:lo_v ~hi:hi_v).x
+
+let solve_box_sparse ?options ?x0 a b ~lo ~hi =
+  if hi < lo then invalid_arg "Lsq.solve_box_sparse: empty box";
+  let n = Sparse.cols a in
+  let lo_v = Vector.create n lo and hi_v = Vector.create n hi in
+  (box ?options ?x0 (of_sparse a) b ~lo:lo_v ~hi:hi_v).x

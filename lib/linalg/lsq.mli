@@ -5,7 +5,14 @@
     problem [min_{z ∈ [0,1]^n} ‖A z − a‖²] and rounds the solution to
     {0,1}^n. This module provides a conjugate-gradient solver for the
     unconstrained normal equations and a projected-gradient solver for the
-    box-constrained problem. *)
+    box-constrained problem.
+
+    Both solvers operate over an abstract {!op} — a dense {!Matrix.t} or a
+    CSR {!Sparse.t} — and accept an [?x0] warm start. At census scale the
+    per-block systems are near-duplicates of their neighbors, so warm-starting
+    a block from the previous block's solution cuts the iteration count; the
+    [linalg.lsq_cold_iterations] / [linalg.lsq_warm_iterations] counters
+    expose the split. *)
 
 type options = {
   max_iter : int;  (** iteration cap *)
@@ -14,17 +21,74 @@ type options = {
 
 val default_options : options
 
+type op = {
+  op_rows : int;
+  op_cols : int;
+  apply : Vector.t -> Vector.t;  (** [A x] *)
+  tapply : Vector.t -> Vector.t;  (** [Aᵀ y] *)
+}
+(** A linear operator given by its forward and transpose applications. *)
+
+val of_matrix : Matrix.t -> op
+
+val of_sparse : Sparse.t -> op
+
+type solution = {
+  x : Vector.t;
+  iterations : int;
+  converged : bool;  (** false when the iteration cap stopped the solve *)
+}
+
+val cg :
+  ?options:options -> ?x0:Vector.t -> (Vector.t -> Vector.t) -> Vector.t -> solution
+(** [cg apply b] solves [M z = b] for symmetric positive-semidefinite [M]
+    given as the operator [apply]. Starts from [x0] when given (computing
+    the true initial residual [b − M x0]), else from the zero vector. *)
+
 val conjugate_gradient :
-  ?options:options -> (Vector.t -> Vector.t) -> Vector.t -> Vector.t
-(** [conjugate_gradient apply b] solves [M z = b] for symmetric
-    positive-semidefinite [M] given as the operator [apply]. Starts from the
-    zero vector. *)
+  ?options:options -> ?x0:Vector.t -> (Vector.t -> Vector.t) -> Vector.t -> Vector.t
+(** [cg] returning only the solution vector. *)
+
+val box :
+  ?options:options ->
+  ?x0:Vector.t ->
+  op ->
+  Vector.t ->
+  lo:Vector.t ->
+  hi:Vector.t ->
+  solution
+(** [box o b ~lo ~hi] approximately minimizes [‖A z − b‖²] over the
+    per-coordinate box [∏ \[lo.(i), hi.(i)\]] by projected gradient descent
+    with a Lipschitz step size estimated by power iteration on [AᵀA].
+    Starts from [x0] clamped into the box when given, else from the box
+    midpoint. Raises [Invalid_argument] if some [hi.(i) < lo.(i)]. *)
 
 val solve_box :
-  ?options:options -> Matrix.t -> Vector.t -> lo:float -> hi:float -> Vector.t
-(** [solve_box a b ~lo ~hi] approximately minimizes [‖A z − b‖²] over the box
-    [\[lo, hi\]^n] by projected gradient descent with a Lipschitz step size
-    estimated by power iteration. *)
+  ?options:options ->
+  ?x0:Vector.t ->
+  Matrix.t ->
+  Vector.t ->
+  lo:float ->
+  hi:float ->
+  Vector.t
+(** [box] over a dense matrix with the same scalar bounds in every
+    coordinate. *)
+
+val solve_box_sparse :
+  ?options:options ->
+  ?x0:Vector.t ->
+  Sparse.t ->
+  Vector.t ->
+  lo:float ->
+  hi:float ->
+  Vector.t
+(** [box] over a CSR matrix with scalar bounds. *)
+
+val lipschitz_op : op -> float
+(** Largest singular value squared of the operator, by power iteration —
+    the reciprocal of the projected-gradient step size. *)
 
 val residual : Matrix.t -> Vector.t -> Vector.t -> float
 (** [residual a z b] is [‖A z − b‖²]. *)
+
+val residual_op : op -> Vector.t -> Vector.t -> float

@@ -29,6 +29,20 @@ let set m i j v = m.data.((i * m.cols) + j) <- v
 
 let row m i = Array.sub m.data (i * m.cols) m.cols
 
+let fold_row m i ~init ~f =
+  let base = i * m.cols in
+  let acc = ref init in
+  for j = 0 to m.cols - 1 do
+    acc := f !acc j m.data.(base + j)
+  done;
+  !acc
+
+let iter_row m i ~f =
+  let base = i * m.cols in
+  for j = 0 to m.cols - 1 do
+    f j m.data.(base + j)
+  done
+
 let mul_vec m x =
   if Array.length x <> m.cols then invalid_arg "Matrix.mul_vec: dimension mismatch";
   Array.init m.rows (fun i ->

@@ -281,12 +281,11 @@ let solve problem =
         for i = 0 to m - 1 do
           if t.basis.(i) < n then x.(t.basis.(i)) <- t.rows.(i).(total)
         done;
-        let objective =
-          Array.to_list x
-          |> List.mapi (fun i v -> problem.objective.(i) *. v)
-          |> List.fold_left ( +. ) 0.
-        in
-        Optimal { x; objective }
+        let objective = ref 0. in
+        for i = 0 to n - 1 do
+          objective := !objective +. (problem.objective.(i) *. x.(i))
+        done;
+        Optimal { x; objective = !objective }
     end
 
 let maximize problem =

@@ -1,0 +1,56 @@
+/* CSR sparse matrix-vector kernels.
+ *
+ * The reconstruction solvers spend almost all their time in y = A x and
+ * y = Aᵀ x with A a 0/1 subset-query matrix whose density at census scale
+ * is well under 1%. The CSR loops below touch only the stored entries, so
+ * the work is O(nnz) instead of O(m·n), and C keeps the inner loop free of
+ * bounds checks and tag tests.
+ *
+ * Float identity contract: for finite inputs these kernels produce the
+ * same bits as the dense Matrix loops. Per row the products accumulate in
+ * ascending-column order (the dense inner-loop order); skipping an exact
+ * zero entry adds the same value as adding its 0·x term, because a finite
+ * partial sum here is never -0.0. -ffp-contract=off in the dune flags
+ * keeps the compiler from fusing the multiply-add into an FMA, which
+ * would round differently from the two-op OCaml sequence.
+ *
+ * Representation notes: row_ptr/col_idx are OCaml int arrays (tagged;
+ * Long_val per element), values/x/y are float arrays (flat unboxed
+ * doubles; Double_field / Store_double_field).
+ */
+
+#include <caml/mlvalues.h>
+
+CAMLprim value pso_spmv_mul(value vrp, value vci, value vval, value vx, value vy)
+{
+  long m = (long)Wosize_val(vrp) - 1;
+  for (long i = 0; i < m; i++) {
+    long lo = Long_val(Field(vrp, i));
+    long hi = Long_val(Field(vrp, i + 1));
+    double acc = 0.0;
+    for (long k = lo; k < hi; k++)
+      acc += Double_field(vval, k) * Double_field(vx, Long_val(Field(vci, k)));
+    Store_double_field(vy, i, acc);
+  }
+  return Val_unit;
+}
+
+CAMLprim value pso_spmv_tmul(value vrp, value vci, value vval, value vyin, value vout)
+{
+  long m = (long)Wosize_val(vrp) - 1;
+  long n = (long)Wosize_val(vout) / Double_wosize;
+  for (long j = 0; j < n; j++) Store_double_field(vout, j, 0.0);
+  for (long i = 0; i < m; i++) {
+    double yi = Double_field(vyin, i);
+    if (yi != 0.0) {
+      long lo = Long_val(Field(vrp, i));
+      long hi = Long_val(Field(vrp, i + 1));
+      for (long k = lo; k < hi; k++) {
+        long j = Long_val(Field(vci, k));
+        Store_double_field(vout, j,
+                           Double_field(vout, j) + Double_field(vval, k) * yi);
+      }
+    }
+  }
+  return Val_unit;
+}

@@ -42,6 +42,17 @@
 #      self-contained page with every section present, and the 10 Hz
 #      snapshot ticker must cost <=10% on the batched-count kernel
 #      (bench-pair, same re-measure retry as the other perf gates)
+#  13. census-scale smoke: the E14 table must be byte-identical at --jobs 1
+#      and --jobs 2 and must match the committed golden, and the census
+#      subcommand's streaming and materialized paths must produce identical
+#      stats for the same seed (the peak-memory-vs-correctness trade has no
+#      correctness side)
+#  14. SpMV speedup gate: in a fresh linalg bench snapshot (which also
+#      validates under bench-kernels/v1 and cross-checks sparse == dense
+#      bitwise on every sample), the CSR SpMV kernel must be at least 10x
+#      faster than the dense row-major loop on the 512x4096 subset-query
+#      matrix (pso_audit bench-pair --min-ratio 10, with the usual
+#      re-measure-on-noise retry)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -241,4 +252,56 @@ if [ "$pair_ok" -ne 1 ]; then
   exit 1
 fi
 
-echo "ci: ok (build + tests + jobs-determinism + golden tables + negative auditor + obs smoke + engine check + bench kernels + audit ledger + certificates + live telemetry)"
+# Census-scale smoke: the E14 table (streamed, sharded, warm-started) must
+# be byte-identical across --jobs and match the committed golden, and the
+# census subcommand's streaming and materialized tabulation paths must
+# report identical stats — the reference path exists precisely to catch a
+# streaming-side divergence.
+dune exec bin/pso_audit.exe -- run E14 --quick --seed 20210621 --jobs 1 \
+  > "$tmp1" 2> /dev/null
+dune exec bin/pso_audit.exe -- run E14 --quick --seed 20210621 --jobs 2 \
+  > "$tmp2" 2> /dev/null
+if ! cmp -s "$tmp1" "$tmp2"; then
+  echo "ci: determinism violation: E14 tables differ between --jobs 1 and --jobs 2" >&2
+  exit 1
+fi
+if ! diff -u test/golden/E14.txt "$tmp1"; then
+  echo "ci: E14 table differs from test/golden/E14.txt" >&2
+  exit 1
+fi
+dune exec bin/pso_audit.exe -- census --blocks 24 --mean-block-size 15 \
+  --shards 4 --suppress 3 --seed 7 --jobs 2 > "$tmp1" 2> /dev/null
+dune exec bin/pso_audit.exe -- census --blocks 24 --mean-block-size 15 \
+  --shards 4 --suppress 3 --seed 7 --jobs 2 --materialize > "$tmp2" 2> /dev/null
+# First line names the tabulation path; every stat line below must agree.
+if ! diff -u <(tail -n +2 "$tmp1") <(tail -n +2 "$tmp2"); then
+  echo "ci: census streaming and materialized paths disagree" >&2
+  exit 1
+fi
+
+# SpMV speedup gate: the point of the CSR representation is a large
+# constant factor on the marginal-query systems; hold the bench matrix at
+# >= 10x over the dense loop so a silent fallback to dense-shaped work
+# fails loudly. The kernel itself asserts sparse == dense bitwise on every
+# sample, so this snapshot is an equivalence check too.
+dune exec bench/main.exe -- --no-tables --only linalg --json "$tmp2" > /dev/null
+dune exec bin/pso_audit.exe -- validate-json "$tmp2"
+pair_ok=0
+for attempt in 1 2 3; do
+  if dune exec bin/pso_audit.exe -- bench-pair "$tmp2" \
+       experiments/spmv-dense experiments/spmv-sparse \
+       --tolerance 0 --min-ratio 10; then
+    pair_ok=1
+    break
+  fi
+  if [ "$attempt" -lt 3 ]; then
+    echo "ci: SpMV speedup attempt $attempt below 10x; re-measuring" >&2
+    dune exec bench/main.exe -- --no-tables --only linalg --json "$tmp2" > /dev/null
+  fi
+done
+if [ "$pair_ok" -ne 1 ]; then
+  echo "ci: sparse SpMV failed the 10x speedup gate across 3 measurements" >&2
+  exit 1
+fi
+
+echo "ci: ok (build + tests + jobs-determinism + golden tables + negative auditor + obs smoke + engine check + bench kernels + audit ledger + certificates + live telemetry + census scale + spmv gate)"

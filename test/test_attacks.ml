@@ -397,6 +397,172 @@ let test_intersection_single_release_is_k_anonymous () =
   Alcotest.(check bool) "r2 5-anonymous" true
     (Kanon.Anonymizer.is_k_anonymous ~k:5 release2)
 
+(* --- Census at scale (Census_scale) --- *)
+
+let scale_cfg =
+  {
+    Attacks.Census_scale.blocks = 12;
+    mean_block_size = 10;
+    shards = 3;
+    threshold = 3;
+    warm_start = true;
+    shave = false;
+  }
+
+let test_scale_streaming_matches_materialized () =
+  let seed = 20210621L in
+  let s1 = Attacks.Census_scale.run scale_cfg (Prob.Rng.create ~seed ()) in
+  let s2 =
+    Attacks.Census_scale.run ~materialize:true scale_cfg
+      (Prob.Rng.create ~seed ())
+  in
+  Alcotest.(check bool) "streaming = materialized stats" true (s1 = s2);
+  Alcotest.(check bool) "nonempty run" true
+    (s1.Attacks.Census_scale.population > 0)
+
+let test_scale_jobs_invariant () =
+  let run jobs =
+    let pool = Parallel.Pool.create ~jobs () in
+    Fun.protect
+      ~finally:(fun () -> Parallel.Pool.shutdown pool)
+      (fun () ->
+        Attacks.Census_scale.run ~pool scale_cfg
+          (Prob.Rng.create ~seed:99L ()))
+  in
+  let s1 = run 1 in
+  Alcotest.(check bool) "jobs=2 matches jobs=1" true (run 2 = s1);
+  Alcotest.(check bool) "jobs=4 matches jobs=1" true (run 4 = s1)
+
+let test_scale_exact_publication () =
+  (* threshold = 0 publishes every marginal row exactly. The joint cells
+     are still underdetermined (that is the paper's point — marginals, not
+     microdata, are released), but the row structure forces the record
+     count to equal the population exactly, zero-count age rows pin whole
+     swaths of cells, and nothing is suppressed. *)
+  let cfg = { scale_cfg with Attacks.Census_scale.threshold = 0 } in
+  let s = Attacks.Census_scale.run cfg (Prob.Rng.create ~seed:7L ()) in
+  Alcotest.(check int) "records = population" s.Attacks.Census_scale.population
+    s.Attacks.Census_scale.records;
+  Alcotest.(check int) "nothing suppressed" 0
+    s.Attacks.Census_scale.suppressed_cells;
+  Alcotest.(check bool) "most cells pinned by propagation" true
+    (s.Attacks.Census_scale.fixed_cells
+    > s.Attacks.Census_scale.solved_blocks * Attacks.Census_scale.n_cells * 3
+      / 4);
+  let mr = Attacks.Census_scale.match_rate s in
+  Alcotest.(check bool)
+    (Printf.sprintf "joint match rate usable (%.3f)" mr)
+    true (mr > 0.6)
+
+let test_scale_suppressed_run_quality () =
+  let s = Attacks.Census_scale.run scale_cfg (Prob.Rng.create ~seed:7L ()) in
+  Alcotest.(check int) "all blocks solved" scale_cfg.Attacks.Census_scale.blocks
+    s.Attacks.Census_scale.solved_blocks;
+  Alcotest.(check int) "all blocks converged"
+    s.Attacks.Census_scale.solved_blocks
+    s.Attacks.Census_scale.converged_blocks;
+  Alcotest.(check bool) "suppression active" true
+    (s.Attacks.Census_scale.suppressed_cells > 0);
+  (* The block total is always exact and the age targets are allocated to
+     it, so suppression never changes how many records come out. *)
+  Alcotest.(check int) "records = population" s.Attacks.Census_scale.population
+    s.Attacks.Census_scale.records;
+  let mr = Attacks.Census_scale.match_rate s in
+  let sr = Attacks.Census_scale.sex_age_rate s in
+  Alcotest.(check bool)
+    (Printf.sprintf "match rates ordered and nonzero (%.3f <= %.3f)" mr sr)
+    true
+    (mr > 0.02 && sr >= mr);
+  (* Suppression must actually cost the attacker accuracy relative to
+     exact publication of the same blocks. *)
+  let exact =
+    Attacks.Census_scale.run
+      { scale_cfg with Attacks.Census_scale.threshold = 0 }
+      (Prob.Rng.create ~seed:7L ())
+  in
+  Alcotest.(check bool) "suppression reduces matches" true
+    (s.Attacks.Census_scale.cells_matched
+    < exact.Attacks.Census_scale.cells_matched)
+
+let obs_counter (r : Obs.report) name =
+  let rec go = function
+    | [] -> 0
+    | ((m : Obs.Metric.meta), v) :: rest ->
+      if m.Obs.Metric.name = name then v else go rest
+  in
+  go r.Obs.Metric.counters
+
+let test_scale_warm_start_saves_iterations () =
+  (* The acceptance criterion: warm-started block solves spend measurably
+     fewer projected-gradient iterations than cold ones, observed through
+     the census.* telemetry counters. *)
+  let measure warm_start =
+    Obs.reset ();
+    Obs.enable ();
+    Fun.protect ~finally:Obs.disable (fun () ->
+        let cfg =
+          {
+            scale_cfg with
+            Attacks.Census_scale.blocks = 16;
+            shards = 2;
+            mean_block_size = 40;
+            warm_start;
+          }
+        in
+        let stats =
+          Attacks.Census_scale.run cfg (Prob.Rng.create ~seed:5L ())
+        in
+        (stats, Obs.snapshot ~jobs:1 ()))
+  in
+  let cold_stats, cold_snap = measure false in
+  let warm_stats, warm_snap = measure true in
+  Alcotest.(check int) "cold run never warm-starts" 0
+    cold_stats.Attacks.Census_scale.warm_solves;
+  Alcotest.(check bool) "warm run warm-starts" true
+    (warm_stats.Attacks.Census_scale.warm_solves > 0);
+  Alcotest.(check int) "counters agree with stats (cold)"
+    cold_stats.Attacks.Census_scale.iterations
+    (obs_counter cold_snap "census.solver_iterations");
+  Alcotest.(check int) "counters agree with stats (warm)"
+    warm_stats.Attacks.Census_scale.warm_iterations
+    (obs_counter warm_snap "census.warm_iterations");
+  let cold_iters = obs_counter cold_snap "census.solver_iterations" in
+  let warm_iters = obs_counter warm_snap "census.solver_iterations" in
+  Alcotest.(check bool)
+    (Printf.sprintf "warm (%d) beats cold (%d) iterations" warm_iters
+       cold_iters)
+    true
+    (warm_iters < cold_iters)
+
+let test_scale_solve_block_respects_published_bounds () =
+  let r = rng () in
+  let people = Dataset.Synth.census_block r ~block:0 ~mean_block_size:25 in
+  let pub = Attacks.Census.tabulate_block ~block:0 people in
+  let sup = Attacks.Census_scale.suppress ~threshold:3 pub in
+  let sol = Attacks.Census_scale.solve_block sup in
+  Array.iter
+    (fun c -> Alcotest.(check bool) "count nonnegative" true (c >= 0))
+    sol.Attacks.Census_scale.counts;
+  for age = 0 to 99 do
+    let sum = ref 0 in
+    for sex = 0 to 1 do
+      for race = 0 to 5 do
+        for eth = 0 to 1 do
+          sum :=
+            !sum
+            + sol.Attacks.Census_scale.counts.(Attacks.Census_scale.cell ~sex
+                                                 ~age ~race ~eth)
+        done
+      done
+    done;
+    let b = sup.Attacks.Census_scale.s_age.(age) in
+    Alcotest.(check bool)
+      (Printf.sprintf "age %d row within published bounds" age)
+      true
+      (b.Attacks.Census_scale.b_lo <= !sum
+      && !sum <= b.Attacks.Census_scale.b_hi)
+  done
+
 (* --- QCheck properties --- *)
 
 let qcheck =
@@ -470,6 +636,20 @@ let () =
             test_census_reconstruction_quality;
           Alcotest.test_case "re-identification" `Quick test_census_reidentification;
           Alcotest.test_case "commercial coverage" `Quick test_census_commercial_coverage;
+        ] );
+      ( "census-scale",
+        [
+          Alcotest.test_case "streaming = materialized" `Quick
+            test_scale_streaming_matches_materialized;
+          Alcotest.test_case "jobs invariant" `Quick test_scale_jobs_invariant;
+          Alcotest.test_case "exact publication" `Quick
+            test_scale_exact_publication;
+          Alcotest.test_case "suppressed run quality" `Quick
+            test_scale_suppressed_run_quality;
+          Alcotest.test_case "warm start saves iterations" `Quick
+            test_scale_warm_start_saves_iterations;
+          Alcotest.test_case "solve_block respects bounds" `Quick
+            test_scale_solve_block_respects_published_bounds;
         ] );
       ( "intersection",
         [

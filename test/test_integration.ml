@@ -112,7 +112,7 @@ let test_experiment_registry_lookup () =
   Alcotest.(check bool) "finds e7 case-insensitively" true
     (Experiments.Registry.find "e7" <> None);
   Alcotest.(check bool) "rejects junk" true (Experiments.Registry.find "E99" = None);
-  Alcotest.(check int) "thirteen experiments" 13 (List.length Experiments.Registry.all)
+  Alcotest.(check int) "fourteen experiments" 14 (List.length Experiments.Registry.all)
 
 (* Experiment kernels (the Bechamel payloads) all run. *)
 let test_experiment_kernels () =

@@ -72,6 +72,82 @@ let test_matrix_of_subset_queries () =
   Alcotest.(check (array (float 1e-9))) "row 0" [| 1.; 0.; 1. |] (Linalg.Matrix.row m 0);
   Alcotest.(check (array (float 1e-9))) "row 1" [| 0.; 1.; 0. |] (Linalg.Matrix.row m 1)
 
+(* --- Sparse --- *)
+
+let test_sparse_of_subset_queries () =
+  let q = [| [| 0; 2 |]; [| 1 |]; [||] |] in
+  let s = Linalg.Sparse.of_subset_queries ~query:q ~n:3 in
+  Alcotest.(check int) "rows" 3 (Linalg.Sparse.rows s);
+  Alcotest.(check int) "cols" 3 (Linalg.Sparse.cols s);
+  Alcotest.(check int) "nnz" 3 (Linalg.Sparse.nnz s);
+  Alcotest.(check int) "empty row" 0 (Linalg.Sparse.row_nnz s 2);
+  Alcotest.(check (array (float 1e-9))) "Ax" [| 4.; 2.; 0. |]
+    (Linalg.Sparse.mul_vec s [| 1.; 2.; 3. |])
+
+let test_sparse_duplicate_indices_collapse () =
+  let s = Linalg.Sparse.of_subset_queries ~query:[| [| 1; 1; 0 |] |] ~n:2 in
+  Alcotest.(check int) "deduped" 2 (Linalg.Sparse.nnz s);
+  Alcotest.(check (array (float 1e-9))) "Ax" [| 3. |]
+    (Linalg.Sparse.mul_vec s [| 1.; 2. |])
+
+let test_sparse_roundtrip () =
+  let m = Linalg.Matrix.of_rows [| [| 0.; 2.; 0. |]; [| 1.; 0.; -3. |] |] in
+  let s = Linalg.Sparse.of_matrix m in
+  Alcotest.(check int) "nnz" 3 (Linalg.Sparse.nnz s);
+  let back = Linalg.Sparse.to_matrix s in
+  for i = 0 to 1 do
+    for j = 0 to 2 do
+      Alcotest.(check (float 0.)) "entry" (Linalg.Matrix.get m i j)
+        (Linalg.Matrix.get back i j)
+    done
+  done
+
+let test_sparse_restrict_cols () =
+  let s =
+    Linalg.Sparse.of_rows ~cols:4
+      [| [ (0, 1.); (2, 2.); (3, 3.) ]; [ (1, 4.) ]; [] |]
+  in
+  let r = Linalg.Sparse.restrict_cols s ~keep:[| 1; 3 |] in
+  Alcotest.(check int) "cols" 2 (Linalg.Sparse.cols r);
+  Alcotest.(check (array (float 1e-9))) "Ax" [| 6.; 4.; 0. |]
+    (Linalg.Sparse.mul_vec r [| 1.; 2. |]);
+  Alcotest.(check (array (float 1e-9))) "A'y" [| 2.; 3. |]
+    (Linalg.Sparse.tmul_vec r [| 1.; 0.5; 9. |])
+
+(* --- Intervals --- *)
+
+(* x0 + x1 = 2, x1 + x2 = 1 with x in [0,2]^3: propagation pins nothing to
+   a point but shrinks x1 to [0,1]; adding x2 = 0 pins everything. *)
+let test_intervals_propagate_basic () =
+  let a = Linalg.Sparse.of_rows ~cols:3 [| [ (0, 1.); (1, 1.) ]; [ (1, 1.); (2, 1.) ] |] in
+  let box = Linalg.Intervals.make ~n:3 ~lo:0. ~hi:2. in
+  (match Linalg.Intervals.propagate a ~row_lo:[| 2.; 1. |] ~row_hi:[| 2.; 1. |] box with
+  | `Empty _ -> Alcotest.fail "unexpectedly empty"
+  | `Bounded b ->
+    Alcotest.(check (float 0.)) "x1 hi" 1. b.Linalg.Intervals.hi.(1);
+    Alcotest.(check (float 0.)) "x0 lo" 1. b.Linalg.Intervals.lo.(0));
+  (* x1 + x2 = 3 is impossible inside [0,1]^3 *)
+  let small = Linalg.Intervals.make ~n:3 ~lo:0. ~hi:1. in
+  match Linalg.Intervals.propagate a ~row_lo:[| 2.; 3. |] ~row_hi:[| 2.; 3. |] small with
+  | `Empty _ -> ()
+  | `Bounded _ -> Alcotest.fail "expected empty"
+
+let test_intervals_shave_tightens () =
+  (* x0 + x1 = 2, x0 + x2 = 2, x1 + x2 = 2 forces x = (1,1,1); plain
+     propagation leaves [0,2] everywhere, shaving proves the endpoints
+     infeasible. *)
+  let a =
+    Linalg.Sparse.of_rows ~cols:3
+      [| [ (0, 1.); (1, 1.) ]; [ (0, 1.); (2, 1.) ]; [ (1, 1.); (2, 1.) ] |]
+  in
+  let rl = [| 2.; 2.; 2. |] in
+  let box = Linalg.Intervals.make ~n:3 ~lo:0. ~hi:2. in
+  let shaved = Linalg.Intervals.shave a ~row_lo:rl ~row_hi:rl box in
+  for j = 0 to 2 do
+    Alcotest.(check (float 0.)) "pinned lo" 1. shaved.Linalg.Intervals.lo.(j);
+    Alcotest.(check (float 0.)) "pinned hi" 1. shaved.Linalg.Intervals.hi.(j)
+  done
+
 (* --- CG / LSQ --- *)
 
 let test_cg_solves_spd () =
@@ -103,6 +179,52 @@ let test_solve_box_respects_bounds () =
 let test_residual () =
   let a = Linalg.Matrix.of_rows [| [| 1.; 0. |] |] in
   check_float "residual" 4. (Linalg.Lsq.residual a [| 1.; 0. |] [| 3. |])
+
+let test_cg_warm_start_matches_cold () =
+  let m = Linalg.Matrix.of_rows [| [| 4.; 1. |]; [| 1.; 3. |] |] in
+  let apply = Linalg.Matrix.mul_vec m in
+  let b = [| 1.; 2. |] in
+  let cold = Linalg.Lsq.cg apply b in
+  let warm = Linalg.Lsq.cg ~x0:[| 5.; -3. |] apply b in
+  Alcotest.(check bool) "both converged" true
+    (cold.Linalg.Lsq.converged && warm.Linalg.Lsq.converged);
+  Alcotest.(check (array (float 1e-6))) "same solution" cold.Linalg.Lsq.x
+    warm.Linalg.Lsq.x;
+  (* warm-starting at the solution costs (at most) one touch-up iteration *)
+  let again = Linalg.Lsq.cg ~x0:cold.Linalg.Lsq.x apply b in
+  Alcotest.(check bool) "no work at optimum" true
+    (again.Linalg.Lsq.iterations <= 1)
+
+let test_box_warm_start_matches_cold () =
+  let r = rng () in
+  let n = 20 in
+  let truth = Array.init n (fun _ -> if Prob.Rng.bool r then 1. else 0.) in
+  let queries =
+    Array.init 100 (fun _ ->
+        Array.init n (fun _ -> if Prob.Rng.bool r then 1. else 0.))
+  in
+  let a = Linalg.Matrix.of_rows queries in
+  let b = Linalg.Matrix.mul_vec a truth in
+  let op = Linalg.Lsq.of_matrix a in
+  let lo = Array.make n 0. and hi = Array.make n 1. in
+  let cold = Linalg.Lsq.box op b ~lo ~hi in
+  let warm = Linalg.Lsq.box ~x0:truth op b ~lo ~hi in
+  Alcotest.(check (array (float 1e-4))) "same minimizer" cold.Linalg.Lsq.x
+    warm.Linalg.Lsq.x;
+  Alcotest.(check bool)
+    (Printf.sprintf "warm (%d) needs fewer iterations than cold (%d)"
+       warm.Linalg.Lsq.iterations cold.Linalg.Lsq.iterations)
+    true
+    (warm.Linalg.Lsq.iterations < cold.Linalg.Lsq.iterations)
+
+let test_box_scalar_wrappers_agree () =
+  let rows = [| [| 1.; 1. |]; [| 1.; 0. |] |] in
+  let m = Linalg.Matrix.of_rows rows in
+  let s = Linalg.Sparse.of_matrix m in
+  let b = [| 1.5; 0.25 |] in
+  let zd = Linalg.Lsq.solve_box m b ~lo:0. ~hi:1. in
+  let zs = Linalg.Lsq.solve_box_sparse s b ~lo:0. ~hi:1. in
+  Alcotest.(check (array (float 0.))) "dense and sparse paths identical" zd zs
 
 (* --- Simplex --- *)
 
@@ -238,6 +360,102 @@ let qcheck =
           done
         done;
         !ok);
+    (* Sparse-vs-dense exactness. Matrix entries are drawn from a small
+       literal set (no underflow), so the CSR kernels — which accumulate in
+       the same per-row ascending-column order as the dense loops but skip
+       exact zeros — must agree bit for bit, not just approximately. Zeros
+       dominate the generator, so empty rows and empty columns are common. *)
+    (let gen =
+       Gen.(
+         pair (int_range 1 6) (int_range 1 6) >>= fun (r, c) ->
+         triple
+           (array_repeat r
+              (array_repeat c (oneofl [ 0.; 0.; 0.; 1.; 2.; -3.; 0.5 ])))
+           (array_repeat c (oneofl [ 0.; 1.; -2.; 0.25; 7. ]))
+           (array_repeat r (oneofl [ 0.; 0.; 1.; -1.; 3.5 ])))
+     in
+     let bits_eq a b =
+       Array.length a = Array.length b
+       && begin
+            let ok = ref true in
+            Array.iteri
+              (fun i v ->
+                if Int64.bits_of_float v <> Int64.bits_of_float b.(i) then
+                  ok := false)
+              a;
+            !ok
+          end
+     in
+     Test.make ~name:"Sparse mul_vec/tmul_vec = dense (bitwise)" ~count:500
+       (make gen) (fun (rows, x, y) ->
+         let m = Linalg.Matrix.of_rows rows in
+         let s = Linalg.Sparse.of_matrix m in
+         bits_eq (Linalg.Sparse.mul_vec s x) (Linalg.Matrix.mul_vec m x)
+         && bits_eq (Linalg.Sparse.tmul_vec s y) (Linalg.Matrix.tmul_vec m y)
+         && bits_eq (Linalg.Sparse.mul_vec s x) (Linalg.Sparse.mul_vec_ml s x)
+         && bits_eq (Linalg.Sparse.tmul_vec s y)
+              (Linalg.Sparse.tmul_vec_ml s y)));
+    (* Interval refinement is sound: on random 0/1 systems with a planted
+       integer solution and widened row bounds, neither propagation nor
+       branch-and-bound shaving may ever exclude the truth. *)
+    (let gen =
+       Gen.(
+         pair (int_range 1 5) (int_range 1 6) >>= fun (n, m) ->
+         pair
+           (array_repeat n (int_range 0 3))
+           (array_repeat m
+              (triple (array_repeat n bool) (int_range 0 2) (int_range 0 2))))
+     in
+     Test.make ~name:"interval refinement keeps the true solution" ~count:300
+       (make gen) (fun (truth, row_specs) ->
+         let n = Array.length truth in
+         let rows =
+           Array.map
+             (fun (subset, _, _) ->
+               let entries = ref [] in
+               for j = n - 1 downto 0 do
+                 if subset.(j) then entries := (j, 1.) :: !entries
+               done;
+               !entries)
+             row_specs
+         in
+         let exact =
+           Array.map
+             (fun (subset, _, _) ->
+               let s = ref 0 in
+               Array.iteri (fun j m -> if m then s := !s + truth.(j)) subset;
+               !s)
+             row_specs
+         in
+         let row_lo =
+           Array.mapi
+             (fun i (_, wl, _) -> float_of_int (exact.(i) - wl))
+             row_specs
+         in
+         let row_hi =
+           Array.mapi
+             (fun i (_, _, wh) -> float_of_int (exact.(i) + wh))
+             row_specs
+         in
+         let a = Linalg.Sparse.of_rows ~cols:n rows in
+         let box = Linalg.Intervals.make ~n ~lo:0. ~hi:4. in
+         let contains b =
+           let ok = ref true in
+           Array.iteri
+             (fun j v ->
+               let v = float_of_int v in
+               if v < b.Linalg.Intervals.lo.(j) -. 1e-9 then ok := false;
+               if v > b.Linalg.Intervals.hi.(j) +. 1e-9 then ok := false)
+             truth;
+           !ok
+         in
+         match Linalg.Intervals.propagate a ~row_lo ~row_hi box with
+         | `Empty _ -> false
+         | `Bounded b ->
+           contains b
+           &&
+           let shaved = Linalg.Intervals.shave ~budget:300 a ~row_lo ~row_hi b in
+           contains shaved));
   ]
   |> List.map QCheck_alcotest.to_alcotest
 
@@ -262,6 +480,21 @@ let () =
           Alcotest.test_case "ragged rejected" `Quick test_matrix_ragged_rejected;
           Alcotest.test_case "of_subset_queries" `Quick test_matrix_of_subset_queries;
         ] );
+      ( "sparse",
+        [
+          Alcotest.test_case "of_subset_queries" `Quick
+            test_sparse_of_subset_queries;
+          Alcotest.test_case "duplicate indices collapse" `Quick
+            test_sparse_duplicate_indices_collapse;
+          Alcotest.test_case "matrix roundtrip" `Quick test_sparse_roundtrip;
+          Alcotest.test_case "restrict_cols" `Quick test_sparse_restrict_cols;
+        ] );
+      ( "intervals",
+        [
+          Alcotest.test_case "propagate" `Quick test_intervals_propagate_basic;
+          Alcotest.test_case "shave tightens" `Quick
+            test_intervals_shave_tightens;
+        ] );
       ( "lsq",
         [
           Alcotest.test_case "cg solves SPD" `Quick test_cg_solves_spd;
@@ -270,6 +503,12 @@ let () =
           Alcotest.test_case "box lsq respects bounds" `Quick
             test_solve_box_respects_bounds;
           Alcotest.test_case "residual" `Quick test_residual;
+          Alcotest.test_case "warm-started cg matches cold" `Quick
+            test_cg_warm_start_matches_cold;
+          Alcotest.test_case "warm-started box matches cold" `Quick
+            test_box_warm_start_matches_cold;
+          Alcotest.test_case "scalar box wrappers agree" `Quick
+            test_box_scalar_wrappers_agree;
         ] );
       ( "simplex",
         [
